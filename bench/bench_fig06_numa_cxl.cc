@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 6: Memory Copy throughput (and latency) across memory
+ * placements, synchronous mode, batch size 1.
+ *
+ *  (a) NUMA: [<device>: <src>,<dst>] over local (D) / remote (R)
+ *      DRAM. DSA hides the UPI hop with pipelining; mixed
+ *      placements enjoy slightly more channel parallelism.
+ *  (b) CXL: local DRAM (D) vs CXL-attached memory (C). CXL writes
+ *      are slower than reads, so (C src, D dst) beats (D src, C dst).
+ */
+
+#include "bench/common.hh"
+
+namespace dsasim::bench
+{
+namespace
+{
+
+struct Placement
+{
+    const char *label;
+    MemKind src;
+    MemKind dst;
+};
+
+void
+panel(const char *title, const std::vector<Placement> &placements,
+      const std::vector<std::uint64_t> &sizes)
+{
+    std::vector<std::string> cols = {"config", "metric"};
+    for (auto s : sizes)
+        cols.push_back(fmtSize(s));
+    Table tbl(title, cols);
+
+    for (const auto &p : placements) {
+        Rig rig{Rig::Options{}};
+        std::uint64_t max_size = sizes.back();
+        Addr src = rig.as->alloc(max_size, p.src);
+        Addr dst = rig.as->alloc(max_size, p.dst);
+        std::vector<std::string> thr = {std::string("DSA: ") +
+                                            p.label,
+                                        "GB/s"};
+        std::vector<std::string> lat = {std::string("DSA: ") +
+                                            p.label,
+                                        "ns"};
+        for (auto s : sizes) {
+            Measure m = syncHw(
+                rig, dml::Executor::memMove(*rig.as, dst, src, s));
+            thr.push_back(fmt(m.gbps));
+            lat.push_back(fmt(m.meanNs, 0));
+        }
+        tbl.addRow(thr);
+        tbl.addRow(lat);
+    }
+
+    // CPU reference lines, as in the paper's panels.
+    for (const auto &p : placements) {
+        Rig rig{Rig::Options{}};
+        std::uint64_t max_size = sizes.back();
+        Addr src = rig.as->alloc(max_size, p.src);
+        Addr dst = rig.as->alloc(max_size, p.dst);
+        std::vector<std::string> thr = {std::string("CPU: ") +
+                                            p.label,
+                                        "GB/s"};
+        std::vector<std::string> lat = {std::string("CPU: ") +
+                                            p.label,
+                                        "ns"};
+        for (auto s : sizes) {
+            Measure m = syncSw(
+                rig, dml::Executor::memMove(*rig.as, dst, src, s));
+            thr.push_back(fmt(m.gbps));
+            lat.push_back(fmt(m.meanNs, 0));
+        }
+        tbl.addRow(thr);
+        tbl.addRow(lat);
+        if (&p - placements.data() >= 1)
+            break; // paper shows one or two CPU references
+    }
+    tbl.print();
+}
+
+} // namespace
+} // namespace dsasim::bench
+
+int
+main()
+{
+    using namespace dsasim;
+    using namespace dsasim::bench;
+
+    const std::vector<std::uint64_t> sizes = {
+        1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20};
+
+    panel("Fig 6a: NUMA placements (sync, BS 1)",
+          {{"D,D", MemKind::DramLocal, MemKind::DramLocal},
+           {"D,R", MemKind::DramLocal, MemKind::DramRemote},
+           {"R,D", MemKind::DramRemote, MemKind::DramLocal},
+           {"R,R", MemKind::DramRemote, MemKind::DramRemote}},
+          sizes);
+
+    panel("Fig 6b: CXL placements (sync, BS 1)",
+          {{"D,D", MemKind::DramLocal, MemKind::DramLocal},
+           {"C,D", MemKind::Cxl, MemKind::DramLocal},
+           {"D,C", MemKind::DramLocal, MemKind::Cxl},
+           {"C,C", MemKind::Cxl, MemKind::Cxl}},
+          sizes);
+    return 0;
+}

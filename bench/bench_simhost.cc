@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host-side performance of the simulator itself (google-benchmark):
+ * event-queue throughput, cache-model access rate, functional
+ * operation speed, and end-to-end simulated-descriptor rate. These
+ * numbers bound how much simulated work the figure benches can
+ * afford; they are about dsasim, not about DSA.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+#include "sim/random.hh"
+#include "ops/crc32.hh"
+#include "ops/delta.hh"
+
+namespace
+{
+
+using namespace dsasim;
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulation sim;
+        int sink = 0;
+        for (int i = 0; i < 10000; ++i)
+            sim.scheduleAt(static_cast<Tick>(i), [&sink] { ++sink; });
+        sim.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 8 << 20;
+    cfg.ways = 8;
+    cfg.ddioWays = 2;
+    CacheModel c(cfg);
+    Rng rng(1);
+    for (auto _ : state) {
+        Addr a = rng.range(0, (64 << 20) / 64 - 1) * 64;
+        benchmark::DoNotOptimize(c.cpuAccess(a, 1, false).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_Crc32c(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(state.range(0)), 0x5a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32cFull(buf.data(), buf.size()));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536);
+
+void
+BM_DeltaCreate(benchmark::State &state)
+{
+    std::vector<std::uint8_t> a(65536, 1), b(65536, 1);
+    for (std::size_t i = 0; i < b.size(); i += 512)
+        b[i] = 2;
+    for (auto _ : state) {
+        auto r = deltaCreate(a.data(), b.data(), a.size(),
+                             2 * a.size());
+        benchmark::DoNotOptimize(r.record.size());
+    }
+    state.SetBytesProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_DeltaCreate);
+
+void
+BM_SimulatedDescriptor(benchmark::State &state)
+{
+    // End-to-end: how many simulated sync 4KB copies per host second.
+    const std::uint64_t n = 4096;
+    for (auto _ : state) {
+        state.PauseTiming();
+        bench::Rig rig{bench::Rig::Options{}};
+        Addr src = rig.as->alloc(n * 64);
+        Addr dst = rig.as->alloc(n * 64);
+        state.ResumeTiming();
+        bench::Measure m = bench::syncHw(
+            rig, dml::Executor::memMove(*rig.as, dst, src, n), 64,
+            false);
+        benchmark::DoNotOptimize(m.gbps);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatedDescriptor)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

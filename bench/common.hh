@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Shared benchmark harness.
+ *
+ * Mirrors the paper's methodology (§4.1): operations run for many
+ * iterations; source/destination data and descriptors are flushed
+ * from the cache hierarchy between iterations; asynchronous
+ * experiments keep a queue depth of 32 unless stated otherwise;
+ * descriptor allocation/preparation time is excluded.
+ *
+ * Output format: every bench prints one table per paper panel with
+ * the same rows/series the figure reports, so EXPERIMENTS.md can
+ * compare shapes directly.
+ */
+
+#ifndef DSASIM_BENCH_COMMON_HH
+#define DSASIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dml/dml.hh"
+#include "driver/platform.hh"
+#include "driver/submitter.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace dsasim::bench
+{
+
+/// @name Formatting helpers.
+/// @{
+inline std::string
+fmtSize(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes >> 20));
+    else if (bytes >= 1024 && bytes % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+/** Fixed-width table printer (plain text, machine-greppable). */
+class Table
+{
+  public:
+    Table(std::string title, std::vector<std::string> columns)
+        : name(std::move(title)), cols(std::move(columns))
+    {}
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        // DSASIM_CSV=1 switches to machine-readable output for
+        // post-processing/plotting.
+        if (const char *csv = std::getenv("DSASIM_CSV");
+            csv && csv[0] == '1') {
+            printCsv();
+            return;
+        }
+        std::printf("\n== %s ==\n", name.c_str());
+        std::vector<std::size_t> width(cols.size());
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            width[c] = cols[c].size();
+        for (const auto &r : rows)
+            for (std::size_t c = 0; c < r.size() && c < width.size();
+                 ++c)
+                width[c] = std::max(width[c], r[c].size());
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                std::printf("%-*s  ", static_cast<int>(width[c]),
+                            cells[c].c_str());
+            std::printf("\n");
+        };
+        line(cols);
+        for (const auto &r : rows)
+            line(r);
+    }
+
+    void
+    printCsv() const
+    {
+        auto cell = [](const std::string &c) {
+            std::string out = c;
+            for (auto &ch : out)
+                if (ch == ',')
+                    ch = ';';
+            return out;
+        };
+        std::printf("\n# %s\n", name.c_str());
+        for (std::size_t c = 0; c < cols.size(); ++c)
+            std::printf("%s%s", cell(cols[c]).c_str(),
+                        c + 1 < cols.size() ? "," : "\n");
+        for (const auto &r : rows) {
+            for (std::size_t c = 0; c < r.size(); ++c)
+                std::printf("%s%s", cell(r[c]).c_str(),
+                            c + 1 < r.size() ? "," : "\n");
+        }
+    }
+
+  private:
+    std::string name;
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+/// @}
+
+/**
+ * A measurement rig: a platform with one or more DSA devices in a
+ * chosen topology, plus an executor and an address space.
+ */
+class Rig
+{
+  public:
+    struct Options
+    {
+        PlatformConfig platform = PlatformConfig::spr();
+        unsigned devices = 1;
+        unsigned engines = 1;
+        unsigned wqSize = 32;
+        WorkQueue::Mode wqMode = WorkQueue::Mode::Dedicated;
+        bool useUmwait = true;
+    };
+
+    explicit Rig(const Options &o)
+        : opt(o), plat(sim, o.platform), as(&plat.mem().createSpace())
+    {
+        std::vector<DsaDevice *> devs;
+        for (unsigned i = 0; i < o.devices; ++i) {
+            Platform::configureBasic(plat.dsa(i), o.wqSize, o.engines,
+                                     o.wqMode);
+            devs.push_back(&plat.dsa(i));
+        }
+        dml::ExecutorConfig ec;
+        ec.path = dml::Path::Hardware;
+        ec.useUmwait = o.useUmwait;
+        exec = std::make_unique<dml::Executor>(
+            sim, plat.mem(), plat.kernels(), devs, ec);
+    }
+
+    Options opt;
+    Simulation sim;
+    Platform plat;
+    AddressSpace *as;
+    std::unique_ptr<dml::Executor> exec;
+};
+
+/** Scale iteration counts down as transfer sizes grow. */
+inline int
+itersFor(std::uint64_t size, int base = 120)
+{
+    std::uint64_t budget = 24ull << 20; // total bytes per measurement
+    std::uint64_t by_bytes = budget / std::max<std::uint64_t>(size, 1);
+    return static_cast<int>(std::max<std::uint64_t>(
+        8, std::min<std::uint64_t>(static_cast<std::uint64_t>(base),
+                                   by_bytes)));
+}
+
+/** Result of a latency/throughput measurement. */
+struct Measure
+{
+    double meanNs = 0;
+    double gbps = 0;
+    std::uint64_t iterations = 0;
+};
+
+namespace detail
+{
+
+inline SimTask
+syncHwLoop(Rig &rig, WorkDescriptor d, int iters, bool flush,
+           Measure &out)
+{
+    Core &core = rig.plat.core(0);
+    Histogram lat;
+    for (int i = 0; i < iters; ++i) {
+        if (flush)
+            rig.plat.mem().cache().invalidateAll();
+        dml::OpResult r;
+        co_await rig.exec->executeHardware(core, d, r);
+        lat.add(toNs(r.latency));
+    }
+    out.meanNs = lat.mean();
+    out.gbps = static_cast<double>(d.size) / out.meanNs;
+    out.iterations = lat.count();
+}
+
+inline SimTask
+syncSwLoop(Rig &rig, WorkDescriptor d, int iters, bool flush,
+           Measure &out)
+{
+    Core &core = rig.plat.core(1 % rig.plat.coreCount());
+    Histogram lat;
+    for (int i = 0; i < iters; ++i) {
+        if (flush)
+            rig.plat.mem().cache().invalidateAll();
+        dml::OpResult r;
+        co_await rig.exec->executeSoftware(core, d, r);
+        lat.add(toNs(r.latency));
+    }
+    out.meanNs = lat.mean();
+    out.gbps = static_cast<double>(d.size) / out.meanNs;
+    out.iterations = lat.count();
+}
+
+inline SimTask
+asyncHwLoop(Rig &rig, std::vector<WorkDescriptor> ring, int total,
+            int depth, Measure &out)
+{
+    Core &core = rig.plat.core(0);
+    Semaphore window(rig.sim, static_cast<std::uint64_t>(depth));
+    Latch all(rig.sim, static_cast<std::uint64_t>(total));
+    std::uint64_t bytes = 0;
+    Tick t0 = rig.sim.now();
+
+    struct Waiter
+    {
+        static SimTask
+        drain(std::unique_ptr<dml::Job> job, Semaphore &win,
+              Latch &done)
+        {
+            if (!job->cr.isDone())
+                co_await job->cr.done.wait();
+            win.release();
+            done.arrive();
+        }
+    };
+
+    for (int i = 0; i < total; ++i) {
+        const WorkDescriptor &d =
+            ring[static_cast<std::size_t>(i) % ring.size()];
+        // Refresh coldness once per pass over the ring, mirroring
+        // the paper's per-iteration flushes.
+        if (i > 0 &&
+            static_cast<std::size_t>(i) % ring.size() == 0)
+            rig.plat.mem().cache().invalidateAll();
+        co_await window.acquire();
+        auto job = rig.exec->prepare(d);
+        bytes += d.size;
+        co_await rig.exec->submit(core, *job);
+        Waiter::drain(std::move(job), window, all);
+    }
+    co_await all.wait();
+    Tick elapsed = rig.sim.now() - t0;
+    out.meanNs = toNs(elapsed) / total;
+    out.gbps = achievedGBps(bytes, elapsed);
+    out.iterations = static_cast<std::uint64_t>(total);
+}
+
+} // namespace detail
+
+/** Mean sync-offload latency/throughput of @p d over iterations. */
+inline Measure
+syncHw(Rig &rig, const WorkDescriptor &d, int iters = 0,
+       bool flush = true)
+{
+    Measure out;
+    if (iters == 0)
+        iters = itersFor(d.size);
+    detail::syncHwLoop(rig, d, iters, flush, out);
+    rig.sim.run();
+    return out;
+}
+
+/** Mean software (CPU core) latency/throughput of @p d. */
+inline Measure
+syncSw(Rig &rig, const WorkDescriptor &d, int iters = 0,
+       bool flush = true)
+{
+    Measure out;
+    if (iters == 0)
+        iters = itersFor(d.size);
+    detail::syncSwLoop(rig, d, iters, flush, out);
+    rig.sim.run();
+    return out;
+}
+
+/**
+ * Async throughput at @p depth outstanding descriptors, cycling over
+ * @p ring distinct descriptors (so data stays cold pass to pass).
+ */
+inline Measure
+asyncHw(Rig &rig, std::vector<WorkDescriptor> ring, int total = 0,
+        int depth = 32)
+{
+    Measure out;
+    if (total == 0 && !ring.empty())
+        total = itersFor(ring.front().size, 320);
+    detail::asyncHwLoop(rig, std::move(ring), total, depth, out);
+    rig.sim.run();
+    return out;
+}
+
+/**
+ * Build a ring of @p count memMove descriptors striding through two
+ * freshly allocated regions.
+ */
+inline std::vector<WorkDescriptor>
+memMoveRing(Rig &rig, std::uint64_t size, int count = 16,
+            MemKind src_kind = MemKind::DramLocal,
+            MemKind dst_kind = MemKind::DramLocal)
+{
+    Addr src = rig.as->alloc(size * static_cast<std::uint64_t>(count),
+                             src_kind);
+    Addr dst = rig.as->alloc(size * static_cast<std::uint64_t>(count),
+                             dst_kind);
+    std::vector<WorkDescriptor> ring;
+    for (int i = 0; i < count; ++i) {
+        ring.push_back(dml::Executor::memMove(
+            *rig.as, dst + static_cast<Addr>(i) * size,
+            src + static_cast<Addr>(i) * size, size));
+    }
+    return ring;
+}
+
+} // namespace dsasim::bench
+
+#endif // DSASIM_BENCH_COMMON_HH

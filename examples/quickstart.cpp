@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Quickstart: the 5-minute tour of the dsasim public API.
+ *
+ *  1. Build a Sapphire-Rapids-like platform.
+ *  2. Configure and enable a DSA instance (accel-config style).
+ *  3. Run synchronous one-shot jobs through dml::Executor.
+ *  4. Run an asynchronous job and overlap CPU work with it.
+ *  5. Run a batch, and compare against the software path.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "dml/dml.hh"
+#include "driver/idxd.hh"
+#include "driver/platform.hh"
+
+using namespace dsasim;
+
+namespace
+{
+
+SimTask
+demo(Simulation &sim, Platform &plat, dml::Executor &exec,
+     AddressSpace &as)
+{
+    Core &core = plat.core(0);
+    const std::uint64_t n = 256 << 10;
+
+    // --- allocate two buffers and fill the source -------------------
+    Addr src = as.alloc(n);
+    Addr dst = as.alloc(n);
+    std::vector<std::uint8_t> payload(n);
+    for (std::size_t i = 0; i < n; ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 131);
+    as.write(src, payload.data(), n);
+
+    // --- 1) synchronous hardware memcpy -----------------------------
+    dml::OpResult r;
+    co_await exec.executeHardware(
+        core, dml::Executor::memMove(as, dst, src, n), r);
+    std::printf("[sync] copied %lluB on DSA in %.0f ns (%.1f GB/s), "
+                "data %s\n",
+                static_cast<unsigned long long>(n), toNs(r.latency),
+                static_cast<double>(n) / toNs(r.latency),
+                as.equal(src, dst, n) ? "verified" : "CORRUPT");
+
+    // --- 2) CRC32 on the device vs the core --------------------------
+    dml::OpResult hw_crc, sw_crc;
+    co_await exec.executeHardware(
+        core, dml::Executor::crc32(as, src, n), hw_crc);
+    co_await exec.executeSoftware(
+        core, dml::Executor::crc32(as, src, n), sw_crc);
+    std::printf("[crc ] device=0x%08x core=0x%08x (%s), "
+                "dsa %.0f ns vs cpu %.0f ns\n",
+                hw_crc.crc, sw_crc.crc,
+                hw_crc.crc == sw_crc.crc ? "match" : "MISMATCH",
+                toNs(hw_crc.latency), toNs(sw_crc.latency));
+
+    // --- 3) asynchronous job with overlapped CPU work ----------------
+    auto job =
+        exec.prepare(dml::Executor::memMove(as, dst, src, n));
+    co_await exec.submit(core, *job);
+    // ... the core is free here; pretend to do 2 us of real work ...
+    co_await core.busyFor(fromUs(2), "useful-work");
+    dml::OpResult async_r;
+    co_await exec.wait(core, *job, async_r);
+    std::printf("[asyn] total wall %.0f ns; core spent %.0f ns in "
+                "UMWAIT\n",
+                toNs(async_r.latency),
+                toNs(core.umwaitTicks()));
+
+    // --- 4) a batch of small copies (F2) ------------------------------
+    std::vector<WorkDescriptor> subs;
+    for (int i = 0; i < 16; ++i) {
+        subs.push_back(dml::Executor::memMove(
+            as, dst + static_cast<Addr>(i) * 4096,
+            src + static_cast<Addr>(i) * 4096, 4096));
+    }
+    dml::OpResult batch_r;
+    co_await exec.executeBatch(core, subs, batch_r);
+    std::printf("[batch] 16 x 4KB in %.0f ns (%.1f GB/s aggregate)\n",
+                toNs(batch_r.latency),
+                16.0 * 4096.0 / toNs(batch_r.latency));
+
+    std::printf("done at t=%.2f us, %llu events executed\n",
+                toUs(sim.now()),
+                static_cast<unsigned long long>(
+                    sim.eventsExecuted()));
+}
+
+} // namespace
+
+int
+main()
+{
+    Simulation sim;
+    Platform plat(sim, PlatformConfig::spr());
+
+    // Driver-style configuration: 1 group, 1 DWQ(32), 2 engines.
+    idxd::Driver driver(plat);
+    DsaDevice &dev = driver.device(0);
+    Group &grp = driver.configGroup(dev);
+    driver.configWq(dev, grp, {WorkQueue::Mode::Dedicated, 32, 0, 0,
+                               "wq0.0"});
+    driver.configEngine(dev, grp);
+    driver.configEngine(dev, grp);
+    driver.enableDevice(dev);
+    for (const auto &line : driver.list())
+        std::printf("%s\n", line.c_str());
+
+    AddressSpace &as = plat.mem().createSpace();
+    dml::Executor exec(sim, plat.mem(), plat.kernels(), {&dev}, {});
+
+    demo(sim, plat, exec, as);
+    sim.run();
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Example: an NVMe-over-TCP storage target with DSA-offloaded Data
+ * Digest CRC32 (the paper's Appendix C scenario).
+ *
+ * Serves a closed-loop random-read workload three ways — no digest,
+ * ISA-L on the reactor cores, and CRC offloaded to DSA — and prints
+ * the throughput/latency picture for a fixed core budget.
+ *
+ * Build & run:  ./build/examples/storage_target
+ */
+
+#include <cstdio>
+
+#include "apps/nvmetcp.hh"
+
+using namespace dsasim;
+
+int
+main()
+{
+    struct ModeSpec
+    {
+        apps::NvmeTcpTarget::Digest mode;
+        const char *name;
+    };
+    const ModeSpec modes[] = {
+        {apps::NvmeTcpTarget::Digest::None, "no digest"},
+        {apps::NvmeTcpTarget::Digest::IsaL, "ISA-L digest"},
+        {apps::NvmeTcpTarget::Digest::Dsa, "DSA digest"},
+    };
+
+    std::printf("NVMe/TCP target, 4 reactor cores, 16KB random "
+                "reads, QD 256:\n");
+    for (const auto &m : modes) {
+        Simulation sim;
+        Platform plat(sim, PlatformConfig::spr());
+        AddressSpace &as = plat.mem().createSpace();
+        Platform::configureBasic(plat.dsa(0), 32, 2,
+                                 WorkQueue::Mode::Shared);
+        dml::ExecutorConfig ec;
+        ec.path = dml::Path::Hardware;
+        dml::Executor exec(sim, plat.mem(), plat.kernels(),
+                           {&plat.dsa(0)}, ec);
+
+        apps::NvmeTcpTarget::Config cfg;
+        cfg.digest = m.mode;
+        cfg.targetCores = 4;
+        cfg.ioBytes = 16 << 10;
+        apps::NvmeTcpTarget target(plat, as, &exec, cfg);
+        target.run(fromMs(6));
+        sim.run();
+
+        std::printf("  %-13s %7.0f KIOPS | mean %5.0f us | "
+                    "p99 %5.0f us | digest errors: %llu\n",
+                    m.name, target.iops() / 1000.0,
+                    target.meanLatencyUs(),
+                    target.latencyHistogram().percentile(99),
+                    static_cast<unsigned long long>(
+                        target.crcMismatches()));
+    }
+    std::printf("\nDSA keeps the digest off the reactor cores: "
+                "IOPS track the\nno-digest build while ISA-L burns "
+                "core cycles per block.\n");
+    return 0;
+}

@@ -1,0 +1,192 @@
+#include "apps/fabric.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim::apps
+{
+
+FabricChannel::FabricChannel(Platform &p, AddressSpace &space,
+                             dml::Executor *exec, Core &sender,
+                             Core &receiver, const Config &cfg,
+                             Semaphore *send_lock,
+                             Semaphore *recv_lock)
+    : plat(p), as(space), executor(exec), sendCore(sender),
+      recvCore(receiver), config(cfg), sendLock(send_lock),
+      recvLock(recv_lock)
+{
+    fatal_if(cfg.useDsa && !exec,
+             "DSA-mode FabricChannel needs an executor");
+    bouncePool = as.alloc(static_cast<std::uint64_t>(
+                              cfg.bounceBuffers) *
+                          cfg.segmentBytes);
+    bounceCredits =
+        std::make_unique<Semaphore>(plat.sim(), cfg.bounceBuffers);
+}
+
+SimTask
+FabricChannel::segmentPipeline(Addr src, Addr dst, std::uint64_t n,
+                               Latch &done)
+{
+    // DSA path: per segment, copy-in then copy-out, both offloaded;
+    // the window keeps `bounceBuffers` segments in flight.
+    Simulation &sim = plat.sim();
+    const std::uint64_t seg = config.segmentBytes;
+    const Tick seg_cost =
+        sendCore.cpuParams().cyclesToTicks(config.segmentCycles);
+    const std::uint64_t nsegs = (n + seg - 1) / seg;
+    Latch all(sim, nsegs);
+
+    struct SegTask
+    {
+        static SimTask
+        go(FabricChannel &ch, Addr bounce, Addr s, Addr d,
+           std::uint64_t len, Latch &seg_done)
+        {
+            Simulation &fsim = ch.plat.sim();
+            const Tick cost = ch.recvCore.cpuParams().cyclesToTicks(
+                ch.config.segmentCycles);
+            // Copy-in: sender buffer -> bounce.
+            auto in = ch.executor->prepare(
+                dml::Executor::memMove(ch.as, bounce, s, len));
+            co_await ch.executor->submit(ch.sendCore, *in);
+            if (!in->cr.isDone())
+                co_await in->cr.done.wait();
+            // Copy-out: bounce -> receiver buffer, chained on the
+            // receiver side.
+            ch.recvCore.chargeBusy(cost, "fabric-seg");
+            co_await fsim.delay(cost);
+            auto out = ch.executor->prepare(
+                dml::Executor::memMove(ch.as, d, bounce, len));
+            co_await ch.executor->submit(ch.recvCore, *out);
+            if (!out->cr.isDone())
+                co_await out->cr.done.wait();
+            ch.bounceCredits->release();
+            seg_done.arrive();
+        }
+    };
+
+    for (std::uint64_t i = 0; i < nsegs; ++i) {
+        co_await bounceCredits->acquire();
+        sendCore.chargeBusy(seg_cost, "fabric-seg");
+        co_await sim.delay(seg_cost);
+        Addr bounce =
+            bouncePool + (i % config.bounceBuffers) * seg;
+        std::uint64_t len = std::min(seg, n - i * seg);
+        SegTask::go(*this, bounce, src + i * seg, dst + i * seg, len,
+                    all);
+    }
+    co_await all.wait();
+    done.arrive();
+}
+
+CoTask
+FabricChannel::transfer(Addr src, Addr dst, std::uint64_t n)
+{
+    Simulation &sim = plat.sim();
+    const std::uint64_t seg = config.segmentBytes;
+    ++messages;
+    bytes += n;
+
+    co_await sendCore.busyFor(
+        sendCore.cpuParams().cyclesToTicks(config.msgSetupCycles),
+        "fabric-setup");
+
+    if (config.useDsa) {
+        Latch done(sim, 1);
+        segmentPipeline(src, dst, n, done);
+        co_await done.wait();
+        co_return;
+    }
+
+    // Software path: the progress engine moves one segment at a
+    // time; each segment is two core copies plus the producer/
+    // consumer handshake, serialized against whatever else those
+    // ranks' cores are doing.
+    const Tick seg_cost = sendCore.cpuParams().cyclesToTicks(
+        config.segmentCycles + config.swSegmentSyncCycles / 2.0);
+    for (std::uint64_t off = 0; off < n; off += seg) {
+        std::uint64_t len = std::min(seg, n - off);
+        Addr bounce =
+            bouncePool + (off / seg % config.bounceBuffers) * seg;
+        if (sendLock)
+            co_await sendLock->acquire();
+        auto in = plat.kernels().memcpyOp(sendCore, as, bounce,
+                                          src + off, len);
+        co_await sendCore.busyFor(in.duration + seg_cost, "fabric");
+        if (sendLock)
+            sendLock->release();
+        if (recvLock)
+            co_await recvLock->acquire();
+        auto out = plat.kernels().memcpyOp(recvCore, as, dst + off,
+                                           bounce, len);
+        co_await recvCore.busyFor(out.duration + seg_cost, "fabric");
+        if (recvLock)
+            recvLock->release();
+    }
+}
+
+RingAllReduce::RingAllReduce(Platform &p, AddressSpace &space,
+                             dml::Executor *exec, unsigned ranks,
+                             const Config &cfg)
+    : plat(p), as(space), nRanks(ranks), config(cfg)
+{
+    fatal_if(ranks < 2, "all-reduce needs at least two ranks");
+    for (unsigned r = 0; r < ranks; ++r)
+        coreLocks.push_back(std::make_unique<Semaphore>(p.sim(), 1));
+    for (unsigned r = 0; r < ranks; ++r) {
+        channels.push_back(std::make_unique<FabricChannel>(
+            p, space, exec, p.core(r), p.core((r + 1) % ranks),
+            cfg.channel, coreLocks[r].get(),
+            coreLocks[(r + 1) % ranks].get()));
+    }
+}
+
+CoTask
+RingAllReduce::run(std::uint64_t total_bytes)
+{
+    Simulation &sim = plat.sim();
+    const std::uint64_t chunk = total_bytes / nRanks;
+
+    // Lazily (re)allocate per-rank gradient and staging buffers.
+    if (rankBuf.empty() || bufBytes < total_bytes) {
+        rankBuf.clear();
+        chunkBuf.clear();
+        bufBytes = total_bytes;
+        for (unsigned r = 0; r < nRanks; ++r) {
+            rankBuf.push_back(as.alloc(total_bytes));
+            chunkBuf.push_back(as.alloc(chunk + 64));
+        }
+    }
+
+    // Ring all-reduce: 2*(R-1) steps; in each step every rank sends
+    // one chunk to its neighbor (all transfers concurrent) and the
+    // reduce-scatter half pays the f32 add on the receiving core.
+    for (unsigned step = 0; step < 2 * (nRanks - 1); ++step) {
+        bool reduce_phase = step < nRanks - 1;
+        Latch done(sim, nRanks);
+        struct Step
+        {
+            static SimTask
+            go(RingAllReduce &ar, unsigned rank, std::uint64_t chk,
+               bool reduce, Latch &l)
+            {
+                FabricChannel &ch = *ar.channels[rank];
+                unsigned next = (rank + 1) % ar.nRanks;
+                co_await ch.transfer(ar.rankBuf[rank],
+                                     ar.chunkBuf[next], chk);
+                if (reduce) {
+                    Core &rc = ar.plat.core(next);
+                    Tick t = fromNs(ar.config.reduceNsPerByte *
+                                    static_cast<double>(chk));
+                    co_await rc.busyFor(t, "reduce");
+                }
+                l.arrive();
+            }
+        };
+        for (unsigned r = 0; r < nRanks; ++r)
+            Step::go(*this, r, chunk, reduce_phase, done);
+        co_await done.wait();
+    }
+}
+
+} // namespace dsasim::apps

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * libfabric-style intra-node message channel (paper Appendix A,
+ * Fig. 17/18), using the Segmentation-and-Reassembly (SAR) protocol:
+ * the sender copies each segment into a shared bounce buffer and the
+ * receiver copies it out.
+ *
+ * The software path performs both copies on the endpoint cores, one
+ * segment after another — the simple progress-engine implementation.
+ * The DSA path (G2) submits the copy-in asynchronously, chains the
+ * copy-out on completion, and keeps the bounce-buffer window full,
+ * so both directions stream through the accelerator.
+ */
+
+#ifndef DSASIM_APPS_FABRIC_HH
+#define DSASIM_APPS_FABRIC_HH
+
+#include <memory>
+#include <vector>
+
+#include "dml/dml.hh"
+#include "driver/platform.hh"
+
+namespace dsasim::apps
+{
+
+class FabricChannel
+{
+  public:
+    struct Config
+    {
+        /** SAR bounce-buffer granule (shm-provider style). */
+        std::uint64_t segmentBytes = 4 << 10;
+        unsigned bounceBuffers = 4;
+        bool useDsa = false;
+        /** Tag-match / rendezvous setup cycles per message. */
+        double msgSetupCycles = 1400.0;
+        /** Per-segment protocol handling cycles per endpoint. */
+        double segmentCycles = 260.0;
+        /**
+         * Software path only: per-segment producer/consumer
+         * synchronization (flag polling, ordering fences) that the
+         * hardware path amortizes across its asynchronous window.
+         */
+        double swSegmentSyncCycles = 800.0;
+    };
+
+    /**
+     * A unidirectional channel from @p sender's core to
+     * @p receiver's core. The executor may be null for CPU mode.
+     *
+     * @param send_lock / @p recv_lock optional per-core run locks:
+     *        an MPI rank is a single-threaded process, so its
+     *        copy-in (as a sender) and copy-out (as a receiver)
+     *        serialize on its core. Null means uncontended.
+     */
+    FabricChannel(Platform &p, AddressSpace &space,
+                  dml::Executor *exec, Core &sender, Core &receiver,
+                  const Config &cfg, Semaphore *send_lock = nullptr,
+                  Semaphore *recv_lock = nullptr);
+
+    /** Move @p n bytes from @p src (sender side) to @p dst. */
+    CoTask transfer(Addr src, Addr dst, std::uint64_t n);
+
+    std::uint64_t messagesSent() const { return messages; }
+    std::uint64_t bytesSent() const { return bytes; }
+
+  private:
+    SimTask segmentPipeline(Addr src, Addr dst, std::uint64_t n,
+                            Latch &done);
+
+    Platform &plat;
+    AddressSpace &as;
+    dml::Executor *executor;
+    Core &sendCore;
+    Core &recvCore;
+    Config config;
+
+    Addr bouncePool = 0;
+    std::unique_ptr<Semaphore> bounceCredits;
+    Semaphore *sendLock;
+    Semaphore *recvLock;
+
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Ring all-reduce over R simulated ranks on one node (the MPI /
+ * MLPerf-BERT experiments). Rank i exchanges chunks with rank
+ * (i+1) % R through a FabricChannel; reduction compute runs on the
+ * rank's core.
+ */
+class RingAllReduce
+{
+  public:
+    struct Config
+    {
+        FabricChannel::Config channel;
+        /** f32 add cost of the reduction, per byte. */
+        double reduceNsPerByte = 0.05;
+    };
+
+    RingAllReduce(Platform &p, AddressSpace &space,
+                  dml::Executor *exec, unsigned ranks,
+                  const Config &cfg);
+
+    /** One all-reduce of @p total_bytes (per rank). */
+    CoTask run(std::uint64_t total_bytes);
+
+    unsigned rankCount() const { return nRanks; }
+
+  private:
+    Platform &plat;
+    AddressSpace &as;
+    unsigned nRanks;
+    Config config;
+    std::vector<std::unique_ptr<FabricChannel>> channels;
+    std::vector<std::unique_ptr<Semaphore>> coreLocks;
+    std::vector<Addr> rankBuf;
+    std::vector<Addr> chunkBuf;
+    std::uint64_t bufBytes;
+};
+
+} // namespace dsasim::apps
+
+#endif // DSASIM_APPS_FABRIC_HH

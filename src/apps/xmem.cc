@@ -1,0 +1,66 @@
+#include "apps/xmem.hh"
+
+namespace dsasim::apps
+{
+
+XMemProbe::XMemProbe(Platform &p, AddressSpace &space, Core &c,
+                     std::uint64_t working_set, std::uint64_t seed)
+    : plat(p), as(space), probeCore(c), ws(working_set), rng(seed)
+{
+    base = as.alloc(ws);
+}
+
+Tick
+XMemProbe::accessOnce()
+{
+    const CpuParams &cp = probeCore.cpuParams();
+    std::uint64_t lines = ws / cacheLineSize;
+    Addr va = base + rng.range(0, lines - 1) * cacheLineSize;
+    Addr pa = as.translate(va);
+    auto res =
+        plat.mem().cache().cpuAccess(pa, probeCore.id(), false);
+    Tick lat;
+    if (res.hit) {
+        lat = plat.mem().cfg().llcLatency;
+    } else {
+        int node = MemSystem::paNode(pa);
+        lat = plat.mem().readLatencyOf(node,
+                                       probeCore.agent().socket);
+        plat.mem().occupyRead(node, probeCore.agent().socket,
+                              cacheLineSize);
+    }
+    // Small core-side cost per dependent access.
+    lat += cp.cyclesToTicks(4);
+    hist.add(toNs(lat));
+    return lat;
+}
+
+void
+XMemProbe::warmAll()
+{
+    for (Addr va = base; va < base + ws; va += cacheLineSize) {
+        Addr pa = as.translate(va);
+        plat.mem().cache().cpuAccess(pa, probeCore.id(), false);
+    }
+}
+
+SimTask
+XMemProbe::run(Tick until, Histogram &latencies)
+{
+    Simulation &sim = plat.sim();
+    // Batch a handful of dependent accesses per wake-up to keep the
+    // event count tractable at full fidelity of the cache state.
+    constexpr int batch = 16;
+    while (sim.now() < until) {
+        Tick total = 0;
+        for (int i = 0; i < batch; ++i) {
+            Tick lat = accessOnce();
+            latencies.add(toNs(lat));
+            total += lat;
+        }
+        probeCore.chargeBusy(total, "xmem");
+        co_await sim.delay(total);
+    }
+}
+
+} // namespace dsasim::apps

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * X-Mem-style memory characterization probe (Gottscho et al.,
+ * ISPASS'16), as used by the paper's cache-pollution study
+ * (§4.5, Fig. 12/13): a working set of configurable size accessed
+ * with dependent random reads, reporting average access latency.
+ */
+
+#ifndef DSASIM_APPS_XMEM_HH
+#define DSASIM_APPS_XMEM_HH
+
+#include "cpu/core.hh"
+#include "driver/platform.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace dsasim::apps
+{
+
+class XMemProbe
+{
+  public:
+    /**
+     * @param working_set bytes of the probe's footprint
+     * @param seed        per-instance RNG stream
+     */
+    XMemProbe(Platform &p, AddressSpace &space, Core &c,
+              std::uint64_t working_set, std::uint64_t seed);
+
+    /**
+     * Issue dependent random-read accesses until @p until; per-access
+     * latencies land in @p latencies.
+     */
+    SimTask run(Tick until, Histogram &latencies);
+
+    /**
+     * Touch every line of the working set once (no timing) so
+     * subsequent accesses start from a fully warm LLC.
+     */
+    void warmAll();
+
+    /** Mean latency observed so far (ns). */
+    double meanLatencyNs() const { return hist.mean(); }
+    const Histogram &latencyHistogram() const { return hist; }
+    std::uint64_t accesses() const { return hist.count(); }
+
+    Core &core() { return probeCore; }
+
+  private:
+    Tick accessOnce();
+
+    Platform &plat;
+    AddressSpace &as;
+    Core &probeCore;
+    std::uint64_t ws;
+    Addr base;
+    Rng rng;
+    Histogram hist;
+};
+
+} // namespace dsasim::apps
+
+#endif // DSASIM_APPS_XMEM_HH

@@ -1,0 +1,468 @@
+#include "dml/dml.hh"
+
+#include "ops/crc32.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim::dml
+{
+
+namespace
+{
+
+WorkDescriptor
+base(AddressSpace &as, Opcode op)
+{
+    WorkDescriptor d;
+    d.op = op;
+    d.pasid = as.pasid();
+    return d;
+}
+
+} // namespace
+
+Executor::Executor(Simulation &s, MemSystem &ms, SwKernels &k,
+                   std::vector<DsaDevice *> devices,
+                   ExecutorConfig config)
+    : sim(s), mem(ms), kernels(k), cfg(config)
+{
+    for (DsaDevice *dev : devices) {
+        fatal_if(!dev->enabled(),
+                 "Executor requires enabled devices (dsa%d is not)",
+                 dev->deviceId());
+        for (std::size_t w = 0; w < dev->wqCount(); ++w) {
+            WorkQueue &wq = dev->wq(w);
+            targets.push_back(
+                {dev, &wq,
+                 std::make_unique<Semaphore>(s, wq.size)});
+        }
+    }
+    fatal_if(targets.empty() && cfg.path == Path::Hardware,
+             "hardware path requested but no WQs available");
+}
+
+WorkDescriptor
+Executor::memMove(AddressSpace &as, Addr dst, Addr src,
+                  std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::Memmove);
+    d.src = src;
+    d.dst = dst;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::fill(AddressSpace &as, Addr dst, std::uint64_t pattern,
+               std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::Fill);
+    d.dst = dst;
+    d.pattern = pattern;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::fill16(AddressSpace &as, Addr dst, std::uint64_t lo,
+                 std::uint64_t hi, std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::Fill);
+    d.dst = dst;
+    d.pattern = lo;
+    d.pattern2 = hi;
+    d.patternBytes = 16;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::compare(AddressSpace &as, Addr a, Addr b, std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::Compare);
+    d.src = a;
+    d.src2 = b;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::comparePattern(AddressSpace &as, Addr a,
+                         std::uint64_t pattern, std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::ComparePattern);
+    d.src = a;
+    d.pattern = pattern;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::crc32(AddressSpace &as, Addr src, std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::CrcGen);
+    d.src = src;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::copyCrc(AddressSpace &as, Addr dst, Addr src,
+                  std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::CopyCrc);
+    d.src = src;
+    d.dst = dst;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::dualcast(AddressSpace &as, Addr dst1, Addr dst2, Addr src,
+                   std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::Dualcast);
+    d.src = src;
+    d.dst = dst1;
+    d.dst2 = dst2;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::createDelta(AddressSpace &as, Addr original, Addr modified,
+                      std::uint64_t n, Addr record,
+                      std::uint64_t max_record)
+{
+    WorkDescriptor d = base(as, Opcode::CreateDelta);
+    d.src = original;
+    d.src2 = modified;
+    d.dst = record;
+    d.size = n;
+    d.maxRecordBytes = max_record;
+    return d;
+}
+
+WorkDescriptor
+Executor::applyDelta(AddressSpace &as, Addr dst, Addr record,
+                     std::uint64_t record_bytes, std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::ApplyDelta);
+    d.src = record;
+    d.dst = dst;
+    d.size = n;
+    d.recordBytes = record_bytes;
+    return d;
+}
+
+WorkDescriptor
+Executor::difInsert(AddressSpace &as, Addr src, Addr dst,
+                    std::uint32_t block, std::uint64_t data_bytes,
+                    std::uint16_t app_tag, std::uint32_t ref_tag)
+{
+    WorkDescriptor d = base(as, Opcode::DifInsert);
+    d.src = src;
+    d.dst = dst;
+    d.size = data_bytes;
+    d.difBlockBytes = block;
+    d.appTag = app_tag;
+    d.refTag = ref_tag;
+    return d;
+}
+
+WorkDescriptor
+Executor::difCheck(AddressSpace &as, Addr src, std::uint32_t block,
+                   std::uint64_t data_bytes, std::uint16_t app_tag,
+                   std::uint32_t ref_tag)
+{
+    WorkDescriptor d = base(as, Opcode::DifCheck);
+    d.src = src;
+    d.size = data_bytes;
+    d.difBlockBytes = block;
+    d.appTag = app_tag;
+    d.refTag = ref_tag;
+    return d;
+}
+
+WorkDescriptor
+Executor::difStrip(AddressSpace &as, Addr src, Addr dst,
+                   std::uint32_t block, std::uint64_t data_bytes)
+{
+    WorkDescriptor d = base(as, Opcode::DifStrip);
+    d.src = src;
+    d.dst = dst;
+    d.size = data_bytes;
+    d.difBlockBytes = block;
+    return d;
+}
+
+WorkDescriptor
+Executor::difUpdate(AddressSpace &as, Addr src, Addr dst,
+                    std::uint32_t block, std::uint64_t data_bytes,
+                    std::uint16_t old_app_tag,
+                    std::uint32_t old_ref_tag,
+                    std::uint16_t new_app_tag,
+                    std::uint32_t new_ref_tag)
+{
+    WorkDescriptor d = base(as, Opcode::DifUpdate);
+    d.src = src;
+    d.dst = dst;
+    d.size = data_bytes;
+    d.difBlockBytes = block;
+    d.appTag = old_app_tag;
+    d.refTag = old_ref_tag;
+    d.newAppTag = new_app_tag;
+    d.newRefTag = new_ref_tag;
+    return d;
+}
+
+WorkDescriptor
+Executor::cacheFlush(AddressSpace &as, Addr addr, std::uint64_t n)
+{
+    WorkDescriptor d = base(as, Opcode::CacheFlush);
+    d.src = addr;
+    d.size = n;
+    return d;
+}
+
+WorkDescriptor
+Executor::drain(AddressSpace &as)
+{
+    return base(as, Opcode::Drain);
+}
+
+Executor::Target &
+Executor::pickTarget()
+{
+    fatal_if(targets.empty(), "no hardware targets configured");
+    if (cfg.balance == ExecutorConfig::Balance::LeastLoaded) {
+        // Load = queued + dispatched-but-incomplete jobs. For DWQs
+        // the held credits count work in flight on the engines; WQ
+        // occupancy alone misses it, since entries free at dispatch.
+        auto load = [](const Target &t) {
+            std::size_t l =
+                t.wq->occupancy() + t.credits->waitersPending();
+            if (t.wq->mode == WorkQueue::Mode::Dedicated)
+                l += t.wq->size - static_cast<std::size_t>(
+                                      t.credits->available());
+            return l;
+        };
+        Target *best = &targets[0];
+        for (auto &t : targets) {
+            if (load(t) < load(*best))
+                best = &t;
+        }
+        return *best;
+    }
+    Target &t = targets[rr % targets.size()];
+    ++rr;
+    return t;
+}
+
+bool
+Executor::shouldOffload(const WorkDescriptor &d) const
+{
+    if (targets.empty())
+        return false;
+    switch (cfg.path) {
+      case Path::Software: return false;
+      case Path::Hardware: return true;
+      case Path::Auto: return d.size >= cfg.autoHwThreshold;
+    }
+    return false;
+}
+
+std::unique_ptr<Job>
+Executor::prepare(const WorkDescriptor &d)
+{
+    auto job = std::make_unique<Job>(sim);
+    job->desc = d;
+    job->desc.completion = &job->cr;
+    return job;
+}
+
+SimTask
+Executor::releaseOnDone(CompletionRecord &cr, Semaphore &credits)
+{
+    if (!cr.isDone())
+        co_await cr.done.wait();
+    credits.release();
+}
+
+CoTask
+Executor::submit(Core &core, Job &job)
+{
+    Target &t = pickTarget();
+    job.usedHardware = true;
+    job.submittedAt = sim.now();
+    ++hwJobs;
+    bytesOffloaded += job.desc.size;
+
+    Submitter sub(core, t.dev->params());
+    if (t.wq->mode == WorkQueue::Mode::Dedicated) {
+        // The credit models the client-side occupancy tracking a
+        // MOVDIR64B user must do.
+        co_await t.credits->acquire();
+        releaseOnDone(job.cr, *t.credits);
+        co_await sub.movdir64b(*t.dev, *t.wq, job.desc);
+    } else {
+        co_await sub.enqcmdRetry(*t.dev, *t.wq, job.desc);
+    }
+}
+
+void
+Executor::harvest(const CompletionRecord &cr, OpResult &out)
+{
+    out.status = cr.status;
+    out.ok = cr.status == CompletionRecord::Status::Success &&
+             cr.result == 0;
+    out.result = cr.result;
+    out.crc = cr.crc;
+    out.bytesCompleted = cr.bytesCompleted;
+    out.recordBytes = cr.recordBytes;
+    out.recordFits = cr.recordFits;
+    out.faultAddr = cr.faultAddr;
+    out.usedHardware = true;
+}
+
+CoTask
+Executor::wait(Core &core, Job &job, OpResult &out)
+{
+    panic_if(!job.usedHardware, "wait() on a non-submitted job");
+    Submitter sub(core, targets.empty() ? DsaParams{}
+                                        : targets[0].dev->params());
+    if (cfg.useUmwait)
+        co_await sub.umwait(job.cr);
+    else
+        co_await sub.poll(job.cr);
+    harvest(job.cr, out);
+    out.latency = sim.now() - job.submittedAt;
+}
+
+SwKernels::Result
+Executor::runSoftware(Core &core, const WorkDescriptor &d)
+{
+    AddressSpace &as = mem.space(d.pasid);
+    std::uint64_t nblocks =
+        d.difBlockBytes ? d.size / d.difBlockBytes : 0;
+    switch (d.op) {
+      case Opcode::Memmove:
+        return kernels.memcpyOp(core, as, d.dst, d.src, d.size);
+      case Opcode::Fill:
+        // Cache-control off selects the non-temporal store variant,
+        // keeping the software baseline symmetric with the device's
+        // non-allocating write path (Fig. 2's two fill series).
+        return kernels.memsetOp2(core, as, d.dst, d.pattern,
+                                 d.pattern2, d.patternBytes, d.size,
+                                 !d.wantsCacheControl());
+      case Opcode::Compare:
+        return kernels.memcmpOp(core, as, d.src, d.src2, d.size);
+      case Opcode::ComparePattern:
+        return kernels.comparePatternOp(core, as, d.src, d.pattern,
+                                        d.size);
+      case Opcode::CrcGen:
+        return kernels.crc32Op(core, as, d.src, d.size, crc32cInit);
+      case Opcode::CopyCrc:
+        return kernels.copyCrcOp(core, as, d.dst, d.src, d.size,
+                                 crc32cInit);
+      case Opcode::Dualcast:
+        return kernels.dualcastOp(core, as, d.dst, d.dst2, d.src,
+                                  d.size);
+      case Opcode::CreateDelta:
+        return kernels.deltaCreateOp(core, as, d.src, d.src2, d.size,
+                                     d.dst, d.maxRecordBytes);
+      case Opcode::ApplyDelta:
+        return kernels.deltaApplyOp(core, as, d.dst, d.src,
+                                    d.recordBytes, d.size);
+      case Opcode::DifInsert:
+        return kernels.difInsertOp(core, as, d.src, d.dst,
+                                   d.difBlockBytes, nblocks, d.appTag,
+                                   d.refTag);
+      case Opcode::DifCheck:
+        return kernels.difCheckOp(core, as, d.src, d.difBlockBytes,
+                                  nblocks, d.appTag, d.refTag);
+      case Opcode::DifStrip:
+        return kernels.difStripOp(core, as, d.src, d.dst,
+                                  d.difBlockBytes, nblocks);
+      case Opcode::DifUpdate:
+        return kernels.difUpdateOp(core, as, d.src, d.dst,
+                                   d.difBlockBytes, nblocks, d.appTag,
+                                   d.refTag, d.newAppTag, d.newRefTag);
+      case Opcode::CacheFlush:
+        return kernels.cacheFlushOp(core, as, d.src, d.size);
+      default:
+        fatal("no software path for opcode %s", opcodeName(d.op));
+    }
+}
+
+CoTask
+Executor::execute(Core &core, const WorkDescriptor &d, OpResult &out)
+{
+    if (shouldOffload(d))
+        co_await executeHardware(core, d, out);
+    else
+        co_await executeSoftware(core, d, out);
+}
+
+CoTask
+Executor::executeHardware(Core &core, const WorkDescriptor &d,
+                          OpResult &out)
+{
+    Tick t0 = sim.now();
+    auto job = prepare(d);
+    co_await submit(core, *job);
+    co_await wait(core, *job, out);
+    out.latency = sim.now() - t0;
+}
+
+CoTask
+Executor::executeSoftware(Core &core, const WorkDescriptor &d,
+                          OpResult &out)
+{
+    Tick t0 = sim.now();
+    ++swJobs;
+    SwKernels::Result r = runSoftware(core, d);
+    co_await core.busyFor(r.duration, "kernel");
+    out.status = CompletionRecord::Status::Success;
+    out.ok = r.ok;
+    out.result = r.ok ? 0 : 1;
+    out.crc = r.crc;
+    out.bytesCompleted = r.bytesProcessed;
+    out.recordBytes = r.recordBytes;
+    out.recordFits = r.recordFits;
+    out.usedHardware = false;
+    out.latency = sim.now() - t0;
+}
+
+std::unique_ptr<Job>
+Executor::prepareBatch(Pasid pasid,
+                       const std::vector<WorkDescriptor> &subs)
+{
+    fatal_if(subs.empty(), "empty batch");
+    auto job = std::make_unique<Job>(sim);
+    job->desc.op = Opcode::Batch;
+    job->desc.pasid = pasid;
+    job->desc.completion = &job->cr;
+    job->desc.batch =
+        std::make_shared<std::vector<WorkDescriptor>>(subs);
+    for (auto &sub : *job->desc.batch) {
+        job->subCrs.push_back(std::make_unique<CompletionRecord>(sim));
+        sub.completion = job->subCrs.back().get();
+        job->desc.size += sub.size;
+    }
+    return job;
+}
+
+CoTask
+Executor::executeBatch(Core &core,
+                       const std::vector<WorkDescriptor> &subs,
+                       OpResult &out)
+{
+    fatal_if(subs.empty(), "empty batch");
+    auto job = prepareBatch(subs.front().pasid, subs);
+    co_await submit(core, *job);
+    co_await wait(core, *job, out);
+    out.ok = job->cr.status == CompletionRecord::Status::Success;
+}
+
+} // namespace dsasim::dml

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * dml: the high-level data-mover API of this library, mirroring the
+ * Intel DML concepts the paper describes in §5 ("Software libraries
+ * for DSA"): execution paths (software / hardware / auto), one-shot
+ * synchronous jobs, asynchronous jobs with explicit waits, batch
+ * jobs, and load balancing across multiple DSA instances and WQs.
+ *
+ * This is the layer applications are expected to program against;
+ * examples/ and the case-study apps use it exclusively.
+ */
+
+#ifndef DSASIM_DML_DML_HH
+#define DSASIM_DML_DML_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/kernels.hh"
+#include "driver/submitter.hh"
+#include "dsa/device.hh"
+#include "sim/task.hh"
+
+namespace dsasim::dml
+{
+
+/** Where a job runs. */
+enum class Path
+{
+    Software, ///< always on the calling core
+    Hardware, ///< always offloaded to DSA
+    Auto,     ///< DSA when profitable (size >= threshold), else CPU
+};
+
+struct ExecutorConfig
+{
+    Path path = Path::Auto;
+    /** Auto path: offload at or above this size (G2's ~4 KB rule). */
+    std::uint64_t autoHwThreshold = 4096;
+    /** Wait with UMWAIT (true) or spin-poll (false). */
+    bool useUmwait = true;
+
+    /** How jobs spread over the available (device, WQ) targets. */
+    enum class Balance
+    {
+        RoundRobin,  ///< strict rotation
+        LeastLoaded, ///< pick the WQ with the most free credits
+    };
+    Balance balance = Balance::RoundRobin;
+};
+
+/** Uniform result of any job, software or hardware. */
+struct OpResult
+{
+    CompletionRecord::Status status = CompletionRecord::Status::None;
+    bool ok = false;      ///< Success (and compare/check passed)
+    std::uint32_t result = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t bytesCompleted = 0;
+    std::uint64_t recordBytes = 0;
+    bool recordFits = true;
+    Addr faultAddr = 0;   ///< first faulting VA (PageFault status)
+    Tick latency = 0;     ///< submit-to-detect, core perspective
+    bool usedHardware = false;
+};
+
+/** An in-flight asynchronous job. */
+class Job
+{
+  public:
+    explicit Job(Simulation &s) : cr(s) {}
+
+    WorkDescriptor desc;
+    CompletionRecord cr;
+    /** Batch jobs: one record per sub-descriptor. */
+    std::vector<std::unique_ptr<CompletionRecord>> subCrs;
+    Tick submittedAt = 0;
+    bool usedHardware = false;
+
+    bool
+    done() const
+    {
+        return !usedHardware || cr.isDone();
+    }
+};
+
+class Executor
+{
+  public:
+    Executor(Simulation &s, MemSystem &ms, SwKernels &k,
+             std::vector<DsaDevice *> devices,
+             ExecutorConfig cfg = {});
+
+    const ExecutorConfig &config() const { return cfg; }
+
+    /// @name Descriptor factories.
+    /// All take virtual addresses in @p as and default to
+    /// cache-control = on, block-on-fault = on.
+    /// @{
+    static WorkDescriptor memMove(AddressSpace &as, Addr dst, Addr src,
+                                  std::uint64_t n);
+    static WorkDescriptor fill(AddressSpace &as, Addr dst,
+                               std::uint64_t pattern, std::uint64_t n);
+    /** Fill with a 16-byte pattern (lo || hi repeating). */
+    static WorkDescriptor fill16(AddressSpace &as, Addr dst,
+                                 std::uint64_t lo, std::uint64_t hi,
+                                 std::uint64_t n);
+    static WorkDescriptor compare(AddressSpace &as, Addr a, Addr b,
+                                  std::uint64_t n);
+    static WorkDescriptor comparePattern(AddressSpace &as, Addr a,
+                                         std::uint64_t pattern,
+                                         std::uint64_t n);
+    static WorkDescriptor crc32(AddressSpace &as, Addr src,
+                                std::uint64_t n);
+    static WorkDescriptor copyCrc(AddressSpace &as, Addr dst, Addr src,
+                                  std::uint64_t n);
+    static WorkDescriptor dualcast(AddressSpace &as, Addr dst1,
+                                   Addr dst2, Addr src,
+                                   std::uint64_t n);
+    static WorkDescriptor createDelta(AddressSpace &as, Addr original,
+                                      Addr modified, std::uint64_t n,
+                                      Addr record,
+                                      std::uint64_t max_record);
+    static WorkDescriptor applyDelta(AddressSpace &as, Addr dst,
+                                     Addr record,
+                                     std::uint64_t record_bytes,
+                                     std::uint64_t n);
+    static WorkDescriptor difInsert(AddressSpace &as, Addr src,
+                                    Addr dst, std::uint32_t block,
+                                    std::uint64_t data_bytes,
+                                    std::uint16_t app_tag,
+                                    std::uint32_t ref_tag);
+    static WorkDescriptor difCheck(AddressSpace &as, Addr src,
+                                   std::uint32_t block,
+                                   std::uint64_t data_bytes,
+                                   std::uint16_t app_tag,
+                                   std::uint32_t ref_tag);
+    static WorkDescriptor difStrip(AddressSpace &as, Addr src,
+                                   Addr dst, std::uint32_t block,
+                                   std::uint64_t data_bytes);
+    static WorkDescriptor difUpdate(AddressSpace &as, Addr src,
+                                    Addr dst, std::uint32_t block,
+                                    std::uint64_t data_bytes,
+                                    std::uint16_t old_app_tag,
+                                    std::uint32_t old_ref_tag,
+                                    std::uint16_t new_app_tag,
+                                    std::uint32_t new_ref_tag);
+    static WorkDescriptor cacheFlush(AddressSpace &as, Addr addr,
+                                     std::uint64_t n);
+    /** Ordering fence: completes when prior group work completes. */
+    static WorkDescriptor drain(AddressSpace &as);
+    /// @}
+
+    /// @name Asynchronous API (hardware path).
+    /// @{
+    std::unique_ptr<Job> prepare(const WorkDescriptor &d);
+
+    /**
+     * Submit a prepared job. Applies WQ-credit backpressure for
+     * DWQs (MOVDIR64B) and the retry protocol for SWQs (ENQCMD).
+     */
+    CoTask submit(Core &core, Job &job);
+
+    /** Wait for a job and harvest its result. */
+    CoTask wait(Core &core, Job &job, OpResult &out);
+    /// @}
+
+    /// @name Synchronous one-shot, honoring the configured path.
+    /// @{
+    CoTask execute(Core &core, const WorkDescriptor &d, OpResult &out);
+
+    /** Force the hardware path regardless of configuration. */
+    CoTask executeHardware(Core &core, const WorkDescriptor &d,
+                           OpResult &out);
+
+    /** Force the software path regardless of configuration. */
+    CoTask executeSoftware(Core &core, const WorkDescriptor &d,
+                           OpResult &out);
+    /// @}
+
+    /// @name Batch API (F2).
+    /// @{
+    std::unique_ptr<Job> prepareBatch(
+        Pasid pasid, const std::vector<WorkDescriptor> &subs);
+
+    CoTask executeBatch(Core &core,
+                        const std::vector<WorkDescriptor> &subs,
+                        OpResult &out);
+    /// @}
+
+    /// @name Statistics.
+    /// @{
+    std::uint64_t hwJobs = 0;
+    std::uint64_t swJobs = 0;
+    std::uint64_t bytesOffloaded = 0;
+    /// @}
+
+  private:
+    struct Target
+    {
+        DsaDevice *dev;
+        WorkQueue *wq;
+        std::unique_ptr<Semaphore> credits; ///< DWQ backpressure
+    };
+
+    Target &pickTarget();
+    bool shouldOffload(const WorkDescriptor &d) const;
+    SwKernels::Result runSoftware(Core &core, const WorkDescriptor &d);
+    static void harvest(const CompletionRecord &cr, OpResult &out);
+    SimTask releaseOnDone(CompletionRecord &cr, Semaphore &credits);
+
+    Simulation &sim;
+    MemSystem &mem;
+    SwKernels &kernels;
+    ExecutorConfig cfg;
+    std::vector<Target> targets;
+    std::size_t rr = 0;
+};
+
+} // namespace dsasim::dml
+
+#endif // DSASIM_DML_DML_HH

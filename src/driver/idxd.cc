@@ -1,0 +1,32 @@
+#include "driver/idxd.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim::idxd
+{
+
+std::vector<std::string>
+Driver::list()
+{
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < platform.dsaCount(); ++i) {
+        DsaDevice &dev = platform.dsa(i);
+        lines.push_back(strfmt(
+            "dsa%zu: %s groups=%zu wqs=%zu engines=%zu",
+            i, dev.enabled() ? "enabled" : "disabled",
+            dev.groupCount(), dev.wqCount(), dev.engineCount()));
+        for (std::size_t w = 0; w < dev.wqCount(); ++w) {
+            WorkQueue &wq = dev.wq(w);
+            lines.push_back(strfmt(
+                "  wq%zu.%d: mode=%s size=%u priority=%u group=%d",
+                i, wq.id,
+                wq.mode == WorkQueue::Mode::Dedicated ? "dedicated"
+                                                      : "shared",
+                wq.size, wq.priority,
+                wq.group ? wq.group->id : -1));
+        }
+    }
+    return lines;
+}
+
+} // namespace dsasim::idxd

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * IDXD-style control path (Fig. 1b): discovery, configuration and
+ * enabling of DSA instances, mirroring the libaccel-config flow —
+ * configure groups, bind WQs (mode/size/priority/name) and engines,
+ * then enable the device. Configuration errors are user errors and
+ * fail fast with a diagnostic, like `accel-config config-wq` does.
+ */
+
+#ifndef DSASIM_DRIVER_IDXD_HH
+#define DSASIM_DRIVER_IDXD_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/platform.hh"
+
+namespace dsasim::idxd
+{
+
+struct WqConfig
+{
+    WorkQueue::Mode mode = WorkQueue::Mode::Dedicated;
+    unsigned size = 16;
+    unsigned priority = 0;
+    /** SWQ ENQCMD admission limit; 0 = the full WQ size. */
+    unsigned threshold = 0;
+    std::string name = "wq";
+};
+
+/**
+ * Driver: the kernel-side view of the platform's accelerator
+ * inventory plus the configuration entry points.
+ */
+class Driver
+{
+  public:
+    explicit Driver(Platform &p) : platform(p) {}
+
+    std::size_t deviceCount() const { return platform.dsaCount(); }
+    DsaDevice &device(std::size_t i) { return platform.dsa(i); }
+
+    /** List device state lines, like `accel-config list`. */
+    std::vector<std::string> list();
+
+    Group &
+    configGroup(DsaDevice &dev)
+    {
+        return dev.addGroup();
+    }
+
+    WorkQueue &
+    configWq(DsaDevice &dev, Group &grp, const WqConfig &cfg)
+    {
+        return dev.addWorkQueue(grp, cfg.mode, cfg.size,
+                                cfg.priority, cfg.threshold);
+    }
+
+    Engine &
+    configEngine(DsaDevice &dev, Group &grp)
+    {
+        return dev.addEngine(grp);
+    }
+
+    void
+    configGroupReadBuffers(DsaDevice &dev, Group &grp, unsigned n)
+    {
+        dev.setGroupReadBuffers(grp, n);
+    }
+
+    void
+    enableDevice(DsaDevice &dev)
+    {
+        dev.enable();
+    }
+
+  private:
+    Platform &platform;
+};
+
+} // namespace dsasim::idxd
+
+#endif // DSASIM_DRIVER_IDXD_HH

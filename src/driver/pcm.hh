@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PCM-style performance telemetry (§5: "DSA performance telemetry
+ * functionalities are provided by the PCM library. By reading the
+ * hardware performance counters, PCM is able to observe the
+ * inbound-outbound traffic and request count on each DSA instance").
+ *
+ * Counters here come from the device model's own accounting; the
+ * Monitor provides point-in-time snapshots and interval deltas, the
+ * way `pcm-accel` samples MMIO counter registers.
+ */
+
+#ifndef DSASIM_DRIVER_PCM_HH
+#define DSASIM_DRIVER_PCM_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/platform.hh"
+#include "sim/logging.hh"
+
+namespace dsasim::pcm
+{
+
+/** One DSA instance's counters at a point in simulated time. */
+struct DsaCounters
+{
+    int deviceId = 0;
+    Tick when = 0;
+    std::uint64_t descriptorsSubmitted = 0;
+    std::uint64_t descriptorsRetried = 0;
+    std::uint64_t descriptorsProcessed = 0;
+    std::uint64_t inboundBytes = 0;  ///< device reads (memory -> DSA)
+    std::uint64_t outboundBytes = 0; ///< device writes (DSA -> memory)
+    std::uint64_t pageFaults = 0;
+    std::uint64_t atcMisses = 0;
+};
+
+inline DsaCounters
+operator-(const DsaCounters &a, const DsaCounters &b)
+{
+    DsaCounters d = a;
+    d.descriptorsSubmitted -= b.descriptorsSubmitted;
+    d.descriptorsRetried -= b.descriptorsRetried;
+    d.descriptorsProcessed -= b.descriptorsProcessed;
+    d.inboundBytes -= b.inboundBytes;
+    d.outboundBytes -= b.outboundBytes;
+    d.pageFaults -= b.pageFaults;
+    d.atcMisses -= b.atcMisses;
+    return d;
+}
+
+class Monitor
+{
+  public:
+    explicit Monitor(Platform &p) : platform(p) {}
+
+    /** Snapshot one device's counters. */
+    DsaCounters
+    sample(std::size_t device_idx) const
+    {
+        DsaDevice &dev = platform.dsa(device_idx);
+        DsaCounters c;
+        c.deviceId = dev.deviceId();
+        c.when = platform.sim().now();
+        c.descriptorsSubmitted = dev.descriptorsSubmitted;
+        c.descriptorsRetried = dev.descriptorsRetried;
+        c.descriptorsProcessed = dev.descriptorsProcessed();
+        for (std::size_t e = 0; e < dev.engineCount(); ++e) {
+            const Engine &eng = dev.engine(e);
+            c.inboundBytes += eng.bytesRead;
+            c.outboundBytes += eng.bytesWritten;
+            c.pageFaults += eng.pageFaults;
+            c.atcMisses += eng.atcMisses;
+        }
+        return c;
+    }
+
+    /** Snapshot every device. */
+    std::vector<DsaCounters>
+    sampleAll() const
+    {
+        std::vector<DsaCounters> out;
+        for (std::size_t i = 0; i < platform.dsaCount(); ++i)
+            out.push_back(sample(i));
+        return out;
+    }
+
+    /** Render an interval delta like a `pcm-accel` line. */
+    static std::string
+    format(const DsaCounters &delta, Tick interval)
+    {
+        double secs = toSec(interval);
+        if (secs <= 0)
+            secs = 1e-12;
+        return strfmt(
+            "dsa%d: in %.2f GB/s out %.2f GB/s reqs %.2fM/s "
+            "retries %llu faults %llu atc-misses %llu",
+            delta.deviceId,
+            static_cast<double>(delta.inboundBytes) / 1e9 / secs,
+            static_cast<double>(delta.outboundBytes) / 1e9 / secs,
+            static_cast<double>(delta.descriptorsProcessed) / 1e6 /
+                secs,
+            static_cast<unsigned long long>(delta.descriptorsRetried),
+            static_cast<unsigned long long>(delta.pageFaults),
+            static_cast<unsigned long long>(delta.atcMisses));
+    }
+
+  private:
+    Platform &platform;
+};
+
+} // namespace dsasim::pcm
+
+#endif // DSASIM_DRIVER_PCM_HH

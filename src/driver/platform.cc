@@ -1,0 +1,192 @@
+#include "driver/platform.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+namespace
+{
+
+MemSystemConfig
+sprMemory()
+{
+    MemSystemConfig mem;
+
+    MemNodeConfig local;
+    local.kind = MemKind::DramLocal;
+    local.socket = 0;
+    local.capacityBytes = 64ull << 30;
+    local.readGBps = 220.0;  // 8x DDR5-4800, sustained read
+    local.writeGBps = 95.0;
+    local.readLatency = fromNs(95);
+    local.writeLatency = fromNs(95);
+
+    MemNodeConfig remote = local;
+    remote.socket = 1;
+
+    MemNodeConfig cxl;
+    cxl.kind = MemKind::Cxl;
+    cxl.socket = 0;
+    cxl.capacityBytes = 16ull << 30; // Agilex-I dev kit, 16 GB DDR4
+    cxl.readGBps = 22.0;
+    cxl.writeGBps = 13.0; // writes notably slower than reads (§4.2)
+    cxl.readLatency = fromNs(210);
+    cxl.writeLatency = fromNs(330);
+
+    mem.nodes = {local, remote, cxl};
+    mem.llc.sizeBytes = 105ull << 20;
+    mem.llc.ways = 15;
+    mem.llc.ddioWays = 2;
+    mem.upiGBps = 60.0;
+    mem.upiLatency = fromNs(60);
+    mem.llcGBps = 400.0;
+    mem.llcLatency = fromNs(33);
+    return mem;
+}
+
+MemSystemConfig
+icxMemory()
+{
+    MemSystemConfig mem = sprMemory();
+    // 6x DDR4-3200 and the smaller Ice Lake LLC.
+    mem.nodes[0].readGBps = 140.0;
+    mem.nodes[0].writeGBps = 110.0;
+    mem.nodes[1] = mem.nodes[0];
+    mem.nodes[1].socket = 1;
+    // No CXL support before SPR; keep the node out of the platform.
+    mem.nodes.pop_back();
+    mem.llc.sizeBytes = 57ull << 20;
+    mem.llc.ways = 12;
+    mem.llc.ddioWays = 2;
+    return mem;
+}
+
+} // namespace
+
+PlatformConfig
+PlatformConfig::spr()
+{
+    PlatformConfig cfg;
+    cfg.name = "SPR";
+    cfg.numCores = 56;
+    cfg.numDsaDevices = 4;
+    cfg.numCbdmaDevices = 0;
+    cfg.mem = sprMemory();
+    return cfg;
+}
+
+PlatformConfig
+PlatformConfig::icx()
+{
+    PlatformConfig cfg;
+    cfg.name = "ICX";
+    cfg.numCores = 40;
+    cfg.numDsaDevices = 0;
+    cfg.numCbdmaDevices = 1;
+    cfg.mem = icxMemory();
+    // Ice Lake cores stream DDR4 a bit slower than SPR streams DDR5.
+    cfg.cpu.readDramLocal = fromNs(4.1);
+    cfg.cpu.writeDramLocal = fromNs(3.6);
+    cfg.cpu.readDramRemote = fromNs(5.8);
+    cfg.cpu.writeDramRemote = fromNs(5.0);
+    return cfg;
+}
+
+Platform::Platform(Simulation &s, const PlatformConfig &cfg)
+    : simulation(s), config(cfg)
+{
+    memSys = std::make_unique<MemSystem>(s, cfg.mem);
+    swKernels = std::make_unique<SwKernels>(*memSys);
+    for (int c = 0; c < cfg.numCores; ++c)
+        cores_.push_back(std::make_unique<Core>(s, cfg.cpu, c, 0));
+    for (unsigned d = 0; d < cfg.numDsaDevices; ++d) {
+        dsas_.push_back(std::make_unique<DsaDevice>(
+            s, *memSys, cfg.dsa, static_cast<int>(d), 0));
+    }
+    for (unsigned d = 0; d < cfg.numCbdmaDevices; ++d) {
+        cbdmas_.push_back(std::make_unique<CbdmaDevice>(
+            s, *memSys, cfg.cbdma, static_cast<int>(d), 0));
+    }
+}
+
+void
+Platform::configureBasic(DsaDevice &dev, unsigned wq_size,
+                         unsigned engines, WorkQueue::Mode mode)
+{
+    Group &g = dev.addGroup();
+    dev.addWorkQueue(g, mode, wq_size, /*priority=*/0);
+    fatal_if(engines == 0, "at least one engine required");
+    for (unsigned e = 0; e < engines; ++e)
+        dev.addEngine(g);
+    dev.enable();
+}
+
+void
+Platform::configureFull(DsaDevice &dev)
+{
+    for (int i = 0; i < 4; ++i) {
+        Group &g = dev.addGroup();
+        dev.addWorkQueue(g, WorkQueue::Mode::Dedicated, 16);
+        dev.addWorkQueue(g, WorkQueue::Mode::Shared, 16);
+        dev.addEngine(g);
+    }
+    dev.enable();
+}
+
+void
+Platform::dumpStats(std::FILE *out) const
+{
+    std::fprintf(out, "---------- dsasim stats @ %.3f us ----------\n",
+                 toUs(simulation.now()));
+    for (const auto &c : cores_) {
+        if (c->busyTicks() == 0 && c->umwaitTicks() == 0 &&
+            c->spinTicks() == 0)
+            continue;
+        std::fprintf(out,
+                     "core%-3d busy %10.2f us  umwait %10.2f us  "
+                     "spin %8.2f us\n",
+                     c->id(), toUs(c->busyTicks()),
+                     toUs(c->umwaitTicks()), toUs(c->spinTicks()));
+    }
+    for (const auto &d : dsas_) {
+        if (!d->enabled())
+            continue;
+        std::fprintf(out,
+                     "dsa%-4d submitted %8llu retried %6llu "
+                     "processed %8llu rd %10.2f MB wr %10.2f MB\n",
+                     d->deviceId(),
+                     static_cast<unsigned long long>(
+                         d->descriptorsSubmitted),
+                     static_cast<unsigned long long>(
+                         d->descriptorsRetried),
+                     static_cast<unsigned long long>(
+                         d->descriptorsProcessed()),
+                     static_cast<double>(
+                         d->fabricRead().bytesServed()) /
+                         1e6,
+                     static_cast<double>(
+                         d->fabricWrite().bytesServed()) /
+                         1e6);
+    }
+    for (std::size_t i = 0; i < memSys->nodeCount(); ++i) {
+        const MemNode &n =
+            const_cast<MemSystem &>(*memSys).node(
+                static_cast<int>(i));
+        std::fprintf(out,
+                     "node%-3zu (%s) rd %10.2f MB (%4.1f%% busy)  "
+                     "wr %10.2f MB (%4.1f%% busy)\n",
+                     i, memKindName(n.config.kind),
+                     static_cast<double>(n.readLink.bytesServed()) /
+                         1e6,
+                     100.0 * n.readLink.utilization(),
+                     static_cast<double>(n.writeLink.bytesServed()) /
+                         1e6,
+                     100.0 * n.writeLink.utilization());
+    }
+    std::fprintf(out, "events executed: %llu\n",
+                 static_cast<unsigned long long>(
+                     simulation.eventsExecuted()));
+}
+
+} // namespace dsasim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Platform presets and assembly.
+ *
+ * PlatformConfig bundles every calibration constant; the two presets
+ * mirror Table 2 of the paper:
+ *
+ *   | Generation      | Ice Lake (ICX)    | Sapphire Rapids (SPR) |
+ *   | cores           | 40                | 56                    |
+ *   | shared LLC      | 57 MB             | 105 MB                |
+ *   | memory          | 6x DDR4           | 8x DDR5               |
+ *   | DMA engine      | CBDMA, 16 chan    | DSA, 8 WQs, 4 PEs     |
+ *
+ * Platform instantiates the memory system, cores, DSA instances (SPR
+ * exposes up to 4 per socket) and the CBDMA baseline.
+ */
+
+#ifndef DSASIM_DRIVER_PLATFORM_HH
+#define DSASIM_DRIVER_PLATFORM_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbdma/cbdma.hh"
+#include "cpu/core.hh"
+#include "cpu/kernels.hh"
+#include "dsa/device.hh"
+#include "mem/mem_system.hh"
+
+namespace dsasim
+{
+
+struct PlatformConfig
+{
+    std::string name;
+    int numCores = 56;
+    unsigned numDsaDevices = 4;
+    unsigned numCbdmaDevices = 0;
+
+    MemSystemConfig mem;
+    CpuParams cpu;
+    DsaParams dsa;
+    CbdmaParams cbdma;
+
+    /** 4th Gen Xeon Scalable (Sapphire Rapids), the DSA platform. */
+    static PlatformConfig spr();
+    /** 3rd Gen Xeon Scalable (Ice Lake), the CBDMA platform. */
+    static PlatformConfig icx();
+};
+
+class Platform
+{
+  public:
+    Platform(Simulation &s, const PlatformConfig &cfg);
+
+    Simulation &sim() { return simulation; }
+    const PlatformConfig &cfg() const { return config; }
+
+    MemSystem &mem() { return *memSys; }
+    SwKernels &kernels() { return *swKernels; }
+
+    Core &core(std::size_t i) { return *cores_.at(i); }
+    std::size_t coreCount() const { return cores_.size(); }
+
+    DsaDevice &dsa(std::size_t i) { return *dsas_.at(i); }
+    std::size_t dsaCount() const { return dsas_.size(); }
+
+    CbdmaDevice &cbdma(std::size_t i) { return *cbdmas_.at(i); }
+    std::size_t cbdmaCount() const { return cbdmas_.size(); }
+
+    /**
+     * The paper's default measurement topology (§4.1): one group,
+     * one DWQ of @p wq_size entries, @p engines PEs.
+     */
+    static void configureBasic(DsaDevice &dev, unsigned wq_size = 32,
+                               unsigned engines = 1,
+                               WorkQueue::Mode mode =
+                                   WorkQueue::Mode::Dedicated);
+
+    /**
+     * Table 2's full SPR configuration: 4 groups, each with 2 WQs
+     * (one dedicated, one shared, 16 entries each) and 1 engine.
+     */
+    static void configureFull(DsaDevice &dev);
+
+    /**
+     * Dump a gem5-style end-of-run statistics summary: per-core
+     * cycle accounts, per-device engine/traffic counters, and
+     * memory-link utilization.
+     */
+    void dumpStats(std::FILE *out) const;
+
+  private:
+    Simulation &simulation;
+    PlatformConfig config;
+    std::unique_ptr<MemSystem> memSys;
+    std::unique_ptr<SwKernels> swKernels;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<DsaDevice>> dsas_;
+    std::vector<std::unique_ptr<CbdmaDevice>> cbdmas_;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DRIVER_PLATFORM_HH

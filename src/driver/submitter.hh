@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The submission-instruction and synchronization model (§3.3):
+ *
+ *  - MOVDIR64B: posted 64-byte store to a DWQ portal. The core is
+ *    busy only for the store itself; the descriptor lands in the WQ
+ *    one flight later. The client must track DWQ occupancy.
+ *  - ENQCMD: non-posted submission to an SWQ. The core stalls for
+ *    the full round trip and receives an accept/retry status, which
+ *    is what makes one SWQ submitter equivalent to a batch-of-1
+ *    stream (Fig. 9).
+ *  - UMONITOR/UMWAIT: park the core on the completion record in an
+ *    optimized wait state; the waited ticks are accounted separately
+ *    from busy work (Fig. 11).
+ *  - Spin polling: check the status byte every pollInterval.
+ */
+
+#ifndef DSASIM_DRIVER_SUBMITTER_HH
+#define DSASIM_DRIVER_SUBMITTER_HH
+
+#include "cpu/core.hh"
+#include "dsa/device.hh"
+#include "sim/task.hh"
+
+namespace dsasim
+{
+
+class Submitter
+{
+  public:
+    Submitter(Core &submitting_core, const DsaParams &p)
+        : core_(submitting_core), params(p)
+    {}
+
+    Core &core() { return core_; }
+
+    /**
+     * MOVDIR64B to a dedicated WQ. Returns (resumes) as soon as the
+     * core retires the store; the descriptor arrives at the portal
+     * asynchronously. Submitting to a full DWQ is a client bug.
+     */
+    CoTask
+    movdir64b(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d)
+    {
+        Simulation &sim = core_.simulation();
+        core_.chargeBusy(params.submitMovdirCost, "submit");
+        co_await sim.delay(params.submitMovdirCost);
+        DsaDevice *devp = &dev;
+        WorkQueue *wqp = &wq;
+        sim.scheduleIn(params.submitFlight, [devp, wqp, d] {
+            devp->submit(*wqp, d);
+        });
+    }
+
+    /**
+     * ENQCMD to a shared WQ. The core blocks for the non-posted
+     * round trip; @p accepted reports the returned status.
+     */
+    CoTask
+    enqcmd(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d,
+           bool &accepted)
+    {
+        Simulation &sim = core_.simulation();
+        core_.chargeBusy(params.enqcmdRoundTrip, "submit");
+        co_await sim.delay(params.submitFlight);
+        accepted = dev.submit(wq, d) ==
+                   DsaDevice::SubmitStatus::Accepted;
+        co_await sim.delay(params.enqcmdRoundTrip -
+                           params.submitFlight);
+    }
+
+    /** ENQCMD, retrying until the SWQ accepts the descriptor. */
+    CoTask
+    enqcmdRetry(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d)
+    {
+        bool accepted = false;
+        while (!accepted)
+            co_await enqcmd(dev, wq, d, accepted);
+    }
+
+    /**
+     * UMONITOR + UMWAIT on the completion record. The waited time is
+     * charged to the core's umwait bucket (a low-power state whose
+     * cycles other SMT work or the power budget can reclaim).
+     */
+    CoTask
+    umwait(CompletionRecord &cr)
+    {
+        Simulation &sim = core_.simulation();
+        Tick t0 = sim.now();
+        if (!cr.isDone())
+            co_await cr.done.wait();
+        core_.chargeUmwait(sim.now() - t0);
+        const Tick wake = core_.cpuParams().umwaitWake;
+        core_.chargeBusy(wake, "wake");
+        co_await sim.delay(wake);
+    }
+
+    /**
+     * Interrupt-driven wait (§4.4's alternative to UMWAIT): the
+     * core is released entirely; when the completion interrupt
+     * fires, the handler + context switch cost is charged before
+     * control returns. Pair with descflags::requestInterrupt so the
+     * device actually raises one.
+     */
+    CoTask
+    waitInterrupt(CompletionRecord &cr)
+    {
+        Simulation &sim = core_.simulation();
+        Tick t0 = sim.now();
+        if (!cr.isDone())
+            co_await cr.done.wait();
+        core_.cycleAccount().charge("idle-other-work",
+                                    sim.now() - t0);
+        const Tick handler = interruptHandlerCost;
+        core_.chargeBusy(handler, "irq-handler");
+        co_await sim.delay(handler);
+    }
+
+    /** Interrupt handler + context-switch cost on the waker core. */
+    static constexpr Tick interruptHandlerCost = fromUs(1.2);
+
+    /**
+     * Spin-poll the completion record's status byte. Timing is
+     * equivalent to checking every pollInterval (the completion is
+     * detected at the next poll boundary) without simulating each
+     * check as its own event.
+     */
+    CoTask
+    poll(CompletionRecord &cr)
+    {
+        Simulation &sim = core_.simulation();
+        const Tick interval = core_.cpuParams().pollInterval;
+        Tick t0 = sim.now();
+        if (!cr.isDone())
+            co_await cr.done.wait();
+        Tick waited = sim.now() - t0;
+        Tick detect = (waited + interval - 1) / interval * interval +
+                      interval - waited;
+        core_.chargeSpin(waited + detect);
+        co_await sim.delay(detect);
+    }
+
+  private:
+    Core &core_;
+    DsaParams params;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DRIVER_SUBMITTER_HH

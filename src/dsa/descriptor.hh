@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Work descriptors and completion records.
+ *
+ * The fields mirror the 64-byte hardware descriptor: operation,
+ * PASID, flags, source/destination addresses, transfer size, and the
+ * per-operation extras (pattern, CRC seed, DIF tags, delta record
+ * limits). The completion record carries status, the CRC value,
+ * compare results and fault information; a simulation-side Trigger
+ * stands in for the memory write that UMONITOR/UMWAIT or polling
+ * would observe on hardware.
+ */
+
+#ifndef DSASIM_DSA_DESCRIPTOR_HH
+#define DSASIM_DSA_DESCRIPTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsa/opcodes.hh"
+#include "mem/types.hh"
+#include "sim/sync.hh"
+
+namespace dsasim
+{
+
+/** Descriptor flag bits. */
+namespace descflags
+{
+/** Cache control: steer destination writes into the LLC (DDIO). */
+constexpr std::uint32_t cacheControl = 1u << 0;
+/** Block on fault: the device waits for the OS to resolve faults. */
+constexpr std::uint32_t blockOnFault = 1u << 1;
+/** Request an interrupt instead of a polled completion. */
+constexpr std::uint32_t requestInterrupt = 1u << 2;
+} // namespace descflags
+
+class CompletionRecord
+{
+  public:
+    enum class Status : std::uint8_t
+    {
+        None = 0,     ///< not yet written by the device
+        Success,
+        PageFault,    ///< blocked on fault with block-on-fault = 0
+        Unsupported,  ///< opcode/parameter rejected
+        BatchError,   ///< >= 1 descriptor in the batch failed
+    };
+
+    explicit CompletionRecord(Simulation &s) : done(s) {}
+
+    bool isDone() const { return status != Status::None; }
+
+    /** Device-side: publish the final status and wake waiters. */
+    void
+    complete(Status st)
+    {
+        status = st;
+        done.fire();
+    }
+
+    /** Reset for reuse (descriptors are commonly recycled). */
+    void
+    rearm()
+    {
+        status = Status::None;
+        result = 0;
+        crc = 0;
+        bytesCompleted = 0;
+        recordBytes = 0;
+        recordFits = true;
+        faultAddr = 0;
+        done.reset();
+    }
+
+    Status status = Status::None;
+    /** Compare ops: 0 = match, 1 = mismatch. DIF check: block idx. */
+    std::uint32_t result = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t bytesCompleted = 0;
+    std::uint64_t recordBytes = 0; ///< delta record size produced
+    bool recordFits = true;
+    Addr faultAddr = 0;
+
+    /** Fires when the status byte is written. */
+    Trigger done;
+};
+
+struct WorkDescriptor
+{
+    Opcode op = Opcode::Nop;
+    /**
+     * Default matches the paper's measurement setup (§4.1): cache
+     * control disabled (destination writes go to memory), block on
+     * fault enabled. Workloads that want DDIO-style LLC placement
+     * (G3) set descflags::cacheControl explicitly.
+     */
+    std::uint32_t flags = descflags::blockOnFault;
+    Pasid pasid = 0;
+
+    Addr src = 0;
+    Addr dst = 0;
+    Addr src2 = 0; ///< CreateDelta: modified buffer
+    Addr dst2 = 0; ///< Dualcast: second destination
+    std::uint64_t size = 0;
+
+    std::uint64_t pattern = 0;   ///< Fill / ComparePattern
+    /** Second half of a 16-byte fill pattern (Table 1: 8/16-byte). */
+    std::uint64_t pattern2 = 0;
+    std::uint8_t patternBytes = 8; ///< 8 or 16
+    std::uint32_t crcSeed = 0xffffffffu;
+    std::uint64_t maxRecordBytes = 0; ///< CreateDelta cap
+    std::uint64_t recordBytes = 0;    ///< ApplyDelta record length
+
+    std::uint32_t difBlockBytes = 512;
+    std::uint16_t appTag = 0;
+    std::uint16_t newAppTag = 0;
+    std::uint32_t refTag = 0;
+    std::uint32_t newRefTag = 0;
+
+    /** Completion record; must outlive processing. */
+    CompletionRecord *completion = nullptr;
+
+    /**
+     * Batch payload: the array of work descriptors the batch
+     * descriptor points at (a descriptor-list address on hardware).
+     */
+    std::shared_ptr<std::vector<WorkDescriptor>> batch;
+
+    bool wantsCacheControl() const
+    {
+        return flags & descflags::cacheControl;
+    }
+    bool blocksOnFault() const
+    {
+        return flags & descflags::blockOnFault;
+    }
+    bool wantsInterrupt() const
+    {
+        return flags & descflags::requestInterrupt;
+    }
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DSA_DESCRIPTOR_HH

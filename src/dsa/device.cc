@@ -1,0 +1,162 @@
+#include "dsa/device.hh"
+
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+DsaDevice::DsaDevice(Simulation &s, MemSystem &ms, const DsaParams &p,
+                     int device_id, int socket_id)
+    : simulation(s), memSys(ms), cfg(p), id(device_id),
+      socketId(socket_id), atcCache(p.atcEntries),
+      fabricRd(s, p.fabricGBps, "dsa" + std::to_string(device_id) +
+                                ".fabric.rd"),
+      fabricWr(s, p.fabricGBps, "dsa" + std::to_string(device_id) +
+                                ".fabric.wr")
+{}
+
+Group &
+DsaDevice::addGroup()
+{
+    fatal_if(isEnabled, "cannot reconfigure an enabled device");
+    fatal_if(groups.size() >= cfg.maxGroups,
+             "device %d supports at most %u groups", id, cfg.maxGroups);
+    groups.push_back(std::make_unique<Group>(
+        simulation, *this, static_cast<int>(groups.size())));
+    return *groups.back();
+}
+
+WorkQueue &
+DsaDevice::addWorkQueue(Group &grp, WorkQueue::Mode mode, unsigned size,
+                        unsigned priority, unsigned threshold)
+{
+    fatal_if(isEnabled, "cannot reconfigure an enabled device");
+    fatal_if(wqs.size() >= cfg.maxWqs,
+             "device %d supports at most %u WQs", id, cfg.maxWqs);
+    fatal_if(size == 0, "WQ size must be non-zero");
+    fatal_if(threshold > size,
+             "WQ threshold (%u) exceeds WQ size (%u)", threshold,
+             size);
+    unsigned used = 0;
+    for (const auto &w : wqs)
+        used += w->size;
+    fatal_if(used + size > cfg.wqCapacityTotal,
+             "WQ entries exhausted: %u in use, %u requested, %u total",
+             used, size, cfg.wqCapacityTotal);
+    wqs.push_back(std::make_unique<WorkQueue>(
+        static_cast<int>(wqs.size()), mode, size, priority,
+        threshold));
+    wqs.back()->group = &grp;
+    grp.attach(wqs.back().get());
+    return *wqs.back();
+}
+
+Engine &
+DsaDevice::addEngine(Group &grp)
+{
+    fatal_if(isEnabled, "cannot reconfigure an enabled device");
+    fatal_if(engines.size() >= cfg.maxEngines,
+             "device %d supports at most %u engines", id,
+             cfg.maxEngines);
+    engines.push_back(std::make_unique<Engine>(
+        *this, grp, static_cast<int>(engines.size())));
+    grp.attach(engines.back().get());
+    return *engines.back();
+}
+
+void
+DsaDevice::setGroupReadBuffers(Group &grp, unsigned buffers)
+{
+    fatal_if(isEnabled, "cannot reconfigure an enabled device");
+    fatal_if(buffers > cfg.readBuffers,
+             "group read buffers (%u) exceed device total (%u)",
+             buffers, cfg.readBuffers);
+    grp.readBuffers = buffers;
+}
+
+void
+DsaDevice::enable()
+{
+    fatal_if(isEnabled, "device %d already enabled", id);
+    fatal_if(groups.empty(), "device %d has no groups", id);
+
+    unsigned claimed = 0;
+    unsigned unset = 0;
+    for (auto &g : groups) {
+        fatal_if(g->wqs.empty(),
+                 "group %d has no work queues", g->id);
+        fatal_if(g->engines.empty(),
+                 "group %d has no engines", g->id);
+        if (g->readBuffers == 0)
+            ++unset;
+        else
+            claimed += g->readBuffers;
+    }
+    fatal_if(claimed > cfg.readBuffers,
+             "groups claim %u read buffers, device has %u",
+             claimed, cfg.readBuffers);
+    // Groups without an explicit allocation share the remainder.
+    if (unset > 0) {
+        unsigned share = (cfg.readBuffers - claimed) / unset;
+        fatal_if(share == 0,
+                 "no read buffers left for %u unconfigured groups",
+                 unset);
+        for (auto &g : groups)
+            if (g->readBuffers == 0)
+                g->readBuffers = share;
+    }
+
+    isEnabled = true;
+    for (auto &e : engines)
+        e->start();
+}
+
+DsaDevice::SubmitStatus
+DsaDevice::submit(WorkQueue &wq, const WorkDescriptor &d)
+{
+    fatal_if(!isEnabled, "submission to a disabled device");
+    panic_if(wq.group == nullptr, "WQ %d not attached to a group",
+             wq.id);
+    if (wq.mode == WorkQueue::Mode::Shared
+            ? wq.aboveThreshold()
+            : wq.full()) {
+        // ENQCMD reports retry (at the configured admission
+        // threshold); a MOVDIR64B to a full DWQ means the client
+        // broke its occupancy tracking contract.
+        panic_if(wq.mode == WorkQueue::Mode::Dedicated,
+                 "MOVDIR64B to full DWQ %d (client must track "
+                 "occupancy)", wq.id);
+        ++descriptorsRetried;
+        ++wq.rejected;
+        return SubmitStatus::Retry;
+    }
+    bool ok = wq.enqueue(d, simulation.now());
+    panic_if(!ok, "enqueue failed on non-full WQ");
+    ++descriptorsSubmitted;
+    Group *grp = wq.group;
+    simulation.scheduleIn(cfg.dispatchLatency,
+                          [grp] { grp->signalWork(); });
+    return SubmitStatus::Accepted;
+}
+
+std::uint64_t
+DsaDevice::descriptorsProcessed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : engines)
+        n += e->descriptorsProcessed;
+    return n;
+}
+
+std::uint64_t
+DsaDevice::bytesProcessed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : engines)
+        n += e->bytesRead + e->bytesWritten;
+    return n;
+}
+
+} // namespace dsasim

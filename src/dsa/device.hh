@@ -1,0 +1,117 @@
+/**
+ * @file
+ * DsaDevice: one DSA instance, exposed to the host as an RCiEP.
+ *
+ * Owns groups, work queues, engines, the device ATC, and the I/O
+ * fabric ports. Configuration follows the real flow: build groups /
+ * WQs / engines while disabled (the driver's accel-config role),
+ * then enable() validates the topology and starts the PEs.
+ */
+
+#ifndef DSASIM_DSA_DEVICE_HH
+#define DSASIM_DSA_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsa/engine.hh"
+#include "dsa/group.hh"
+#include "dsa/params.hh"
+#include "dsa/wq.hh"
+#include "mem/mem_system.hh"
+#include "mem/tlb.hh"
+
+namespace dsasim
+{
+
+class DsaDevice
+{
+  public:
+    DsaDevice(Simulation &s, MemSystem &ms, const DsaParams &p,
+              int device_id, int socket_id = 0);
+
+    Simulation &sim() { return simulation; }
+    MemSystem &mem() { return memSys; }
+    const DsaParams &params() const { return cfg; }
+    int deviceId() const { return id; }
+    int socket() const { return socketId; }
+    bool enabled() const { return isEnabled; }
+
+    /** Occupancy-accounting identity (distinct from any core). */
+    int cacheOwnerId() const { return 1000 + id; }
+
+    /// @name Configuration (only while disabled).
+    /// @{
+    Group &addGroup();
+    WorkQueue &addWorkQueue(Group &grp, WorkQueue::Mode mode,
+                            unsigned size, unsigned priority = 0,
+                            unsigned threshold = 0);
+    Engine &addEngine(Group &grp);
+    /** Re-apportion read buffers; unset groups share the remainder. */
+    void setGroupReadBuffers(Group &grp, unsigned buffers);
+    /// @}
+
+    /**
+     * Validate the configuration and start the engines. Mirrors
+     * accel-config's device enable; a malformed configuration is a
+     * user error (fatal).
+     */
+    void enable();
+
+    /// @name Submission (the MMIO portal write, post-flight).
+    /// Timing of the submitting instruction itself lives in the
+    /// driver's Submitter; this is the descriptor landing in the WQ.
+    /// @{
+    enum class SubmitStatus { Accepted, Retry };
+
+    SubmitStatus submit(WorkQueue &wq, const WorkDescriptor &d);
+    /// @}
+
+    /// @name Introspection.
+    /// @{
+    std::size_t groupCount() const { return groups.size(); }
+    Group &group(std::size_t i) { return *groups[i]; }
+    std::size_t wqCount() const { return wqs.size(); }
+    WorkQueue &wq(std::size_t i) { return *wqs[i]; }
+    std::size_t engineCount() const { return engines.size(); }
+    Engine &engine(std::size_t i) { return *engines[i]; }
+    /// @}
+
+    /// @name Device resources used by the engines.
+    /// @{
+    TranslationCache &atc() { return atcCache; }
+    LinkResource &fabricRead() { return fabricRd; }
+    LinkResource &fabricWrite() { return fabricWr; }
+    /// @}
+
+    /// @name Aggregate statistics.
+    /// @{
+    std::uint64_t descriptorsSubmitted = 0;
+    std::uint64_t descriptorsRetried = 0;
+
+    std::uint64_t descriptorsProcessed() const;
+    std::uint64_t bytesProcessed() const;
+    /// @}
+
+  private:
+    Simulation &simulation;
+    MemSystem &memSys;
+    DsaParams cfg;
+    const int id;
+    const int socketId;
+    bool isEnabled = false;
+
+    std::vector<std::unique_ptr<Group>> groups;
+    std::vector<std::unique_ptr<WorkQueue>> wqs;
+    std::vector<std::unique_ptr<Engine>> engines;
+
+    TranslationCache atcCache;
+    LinkResource fabricRd;
+    LinkResource fabricWr;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DSA_DEVICE_HH

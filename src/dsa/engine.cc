@@ -1,0 +1,810 @@
+#include "dsa/engine.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "dsa/device.hh"
+#include "mem/address_space.hh"
+#include "ops/crc32.hh"
+#include "ops/delta.hh"
+#include "ops/dif.hh"
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+namespace
+{
+
+/** Outcome of the functional execution of one descriptor. */
+struct FuncOut
+{
+    CompletionRecord::Status status = CompletionRecord::Status::Success;
+    std::uint32_t result = 0;
+    std::uint32_t crc = 0;
+    std::uint64_t recordBytes = 0;
+    bool recordFits = true;
+    std::uint64_t bytesCompleted = 0;
+    Addr faultAddr = 0;
+};
+
+/** One data stream of a descriptor (timing view). */
+struct Stream
+{
+    Addr va = 0;
+    std::uint64_t len = 0;
+    bool write = false;
+};
+
+constexpr std::size_t scratchChunk = 256 * 1024;
+
+void
+expandPattern(std::uint64_t pattern, std::uint8_t *buf, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; i += 8) {
+        std::size_t run = std::min<std::size_t>(8, len - i);
+        std::memcpy(buf + i, &pattern, run);
+    }
+}
+
+/** Expand an 8- or 16-byte fill pattern. */
+void
+expandPattern2(std::uint64_t lo, std::uint64_t hi, unsigned pat_bytes,
+               std::uint8_t *buf, std::size_t len)
+{
+    if (pat_bytes <= 8) {
+        expandPattern(lo, buf, len);
+        return;
+    }
+    for (std::size_t i = 0; i < len; i += 16) {
+        std::size_t run = std::min<std::size_t>(8, len - i);
+        std::memcpy(buf + i, &lo, run);
+        if (len > i + 8) {
+            run = std::min<std::size_t>(8, len - i - 8);
+            std::memcpy(buf + i + 8, &hi, run);
+        }
+    }
+}
+
+} // namespace
+
+Engine::Engine(DsaDevice &device, Group &grp, int engine_id)
+    : dev(device), group(grp), id(engine_id)
+{}
+
+void
+Engine::start()
+{
+    run();
+}
+
+SimTask
+Engine::run()
+{
+    for (;;) {
+        co_await group.awaitWork();
+        auto w = group.arbitrate();
+        panic_if(!w, "arbiter woke engine %d with no work", id);
+        co_await process(std::move(*w));
+    }
+}
+
+Engine::XlateOutcome
+Engine::translateRange(AddressSpace &as, Addr va, std::uint64_t len,
+                       bool block_on_fault)
+{
+    XlateOutcome out;
+    const DsaParams &p = dev.params();
+    Iommu &iommu = dev.mem().iommu();
+    Pasid pasid = as.pasid();
+
+    Addr cursor = va;
+    std::uint64_t remaining = len;
+    while (remaining > 0) {
+        auto m = as.pageTable().lookup(cursor);
+        if (!m) {
+            // Unmapped: an unresolvable fault either way.
+            out.faulted = true;
+            out.faultVa = cursor;
+            out.faultStall += iommu.cfg().pageWalkLatency;
+            return out;
+        }
+        std::uint64_t in_page = m->vaBase + m->size - cursor;
+        std::uint64_t run = std::min(remaining, in_page);
+
+        if (dev.atc().lookup(pasid, m->vaBase) && m->present) {
+            out.walkCost += p.atcHitLatency;
+        } else {
+            ++atcMisses;
+            auto res = iommu.translate(as.pageTable(), pasid, cursor,
+                                       block_on_fault);
+            if (res.faulted) {
+                ++pageFaults;
+                if (!res.ok) {
+                    // Not resolved (block-on-fault = 0): partial
+                    // completion at this offset.
+                    out.faulted = true;
+                    out.faultVa = cursor;
+                    out.faultStall += res.latency;
+                    return out;
+                }
+                // Resolved by the OS; the PE stalled meanwhile.
+                out.faultStall += res.latency;
+            } else {
+                // Walks overlap in the PE pipeline.
+                out.walkCost += res.latency / p.walkParallelism;
+            }
+            dev.atc().insert(pasid, m->vaBase);
+        }
+        out.okBytes += run;
+        cursor += run;
+        remaining -= run;
+    }
+    return out;
+}
+
+double
+Engine::effectiveRate(int src_node) const
+{
+    const DsaParams &p = dev.params();
+    unsigned engines_sharing =
+        std::max<std::size_t>(group.engines.size(), 1);
+    unsigned buffers = std::max(1u, group.readBuffers / engines_sharing);
+    double lat_ns =
+        toNs(dev.mem().readLatencyOf(src_node, dev.socket()));
+    if (lat_ns <= 0.0)
+        return p.engineGBps;
+    double buffered =
+        static_cast<double>(buffers) * cacheLineSize / lat_ns;
+    return std::min(p.engineGBps, buffered);
+}
+
+CoTask
+Engine::process(Work w)
+{
+    if (w.desc.op == Opcode::Batch) {
+        co_await processBatch(std::move(w));
+        co_return;
+    }
+    ++group.inflight;
+    struct InflightGuard
+    {
+        Group &g;
+        ~InflightGuard() { --g.inflight; }
+    } guard{group};
+
+    Simulation &sim = dev.sim();
+    MemSystem &mem = dev.mem();
+    const DsaParams &p = dev.params();
+    WorkDescriptor d = w.desc;
+    const Tick start = sim.now();
+
+    FuncOut out;
+
+    // Completion publication, shared by all exit paths. Extra
+    // latency covers the pieces that pipeline with the next
+    // descriptor (setup, first-read fill, completion write).
+    auto publish = [this, &sim, &p](WorkDescriptor desc, FuncOut fo,
+                                    std::shared_ptr<BatchTracker> par,
+                                    Tick extra_latency) {
+        Tick when = p.engineSetup + p.completionWrite + extra_latency;
+        if (desc.wantsInterrupt())
+            when += p.interruptLatency;
+        sim.scheduleIn(when, [desc, fo, par] {
+            if (desc.completion) {
+                CompletionRecord &cr = *desc.completion;
+                cr.result = fo.result;
+                cr.crc = fo.crc;
+                cr.recordBytes = fo.recordBytes;
+                cr.recordFits = fo.recordFits;
+                cr.bytesCompleted = fo.bytesCompleted;
+                cr.faultAddr = fo.faultAddr;
+                cr.complete(fo.status);
+            }
+            if (par) {
+                if (fo.status != CompletionRecord::Status::Success)
+                    par->anyFailed = true;
+                par->latch.arrive();
+            }
+        });
+    };
+
+    auto finishAt = [&](Tick min_end) -> Tick {
+        return std::max(min_end, start + p.descriptorGap);
+    };
+
+    // ---- Validation ------------------------------------------------
+    bool valid = d.size <= p.maxTransferSize;
+    if (d.op == Opcode::Fill || d.op == Opcode::ComparePattern)
+        valid = valid && (d.patternBytes == 8 || d.patternBytes == 16);
+    std::uint64_t nblocks = 0;
+    switch (d.op) {
+      case Opcode::CreateDelta:
+        valid = valid && d.size % deltaWordBytes == 0 &&
+                d.size <= deltaMaxInputBytes;
+        break;
+      case Opcode::ApplyDelta:
+        valid = valid && d.size % deltaWordBytes == 0 &&
+                d.recordBytes % deltaEntryBytes == 0;
+        break;
+      case Opcode::DifCheck:
+      case Opcode::DifInsert:
+      case Opcode::DifStrip:
+      case Opcode::DifUpdate:
+        valid = valid && difBlockSizeValid(d.difBlockBytes) &&
+                d.size % d.difBlockBytes == 0;
+        nblocks = valid ? d.size / d.difBlockBytes : 0;
+        break;
+      default:
+        break;
+    }
+    if (!valid) {
+        out.status = CompletionRecord::Status::Unsupported;
+        Tick end = finishAt(sim.now());
+        if (sim.now() < end)
+            co_await sim.delayUntil(end);
+        ++descriptorsProcessed;
+        publish(d, out, w.parent, 0);
+        co_return;
+    }
+
+    if (d.op == Opcode::Nop) {
+        out.status = CompletionRecord::Status::Success;
+        Tick end = finishAt(sim.now());
+        if (sim.now() < end)
+            co_await sim.delayUntil(end);
+        ++descriptorsProcessed;
+        publish(d, out, w.parent, 0);
+        co_return;
+    }
+
+    if (d.op == Opcode::Drain) {
+        // Completes once every previously submitted descriptor of
+        // this group has finished. This engine holds the drain, so
+        // the group is drained when no *other* work is in flight or
+        // queued.
+        while (group.inflight > 1 || group.hasQueuedWork())
+            co_await sim.delay(p.dispatchLatency);
+        out.status = CompletionRecord::Status::Success;
+        Tick end = finishAt(sim.now());
+        if (sim.now() < end)
+            co_await sim.delayUntil(end);
+        ++descriptorsProcessed;
+        publish(d, out, w.parent, 0);
+        co_return;
+    }
+
+    AddressSpace &as = mem.space(d.pasid);
+
+    // ---- Build the stream list ------------------------------------
+    std::vector<Stream> streams;
+    const std::uint64_t blk = d.difBlockBytes;
+    const std::uint64_t tup = difTupleBytes;
+    switch (d.op) {
+      case Opcode::Memmove:
+      case Opcode::CopyCrc:
+        streams = {{d.src, d.size, false}, {d.dst, d.size, true}};
+        break;
+      case Opcode::Fill:
+        streams = {{d.dst, d.size, true}};
+        break;
+      case Opcode::Compare:
+        streams = {{d.src, d.size, false}, {d.src2, d.size, false}};
+        break;
+      case Opcode::ComparePattern:
+      case Opcode::CrcGen:
+        streams = {{d.src, d.size, false}};
+        break;
+      case Opcode::CreateDelta:
+        streams = {{d.src, d.size, false}, {d.src2, d.size, false}};
+        // Record stream appended after functional execution (its
+        // length is data dependent).
+        break;
+      case Opcode::ApplyDelta:
+        streams = {{d.src, d.recordBytes, false},
+                   {d.dst, d.size, true}};
+        break;
+      case Opcode::Dualcast:
+        streams = {{d.src, d.size, false},
+                   {d.dst, d.size, true},
+                   {d.dst2, d.size, true}};
+        break;
+      case Opcode::DifInsert:
+        streams = {{d.src, nblocks * blk, false},
+                   {d.dst, nblocks * (blk + tup), true}};
+        break;
+      case Opcode::DifCheck:
+        streams = {{d.src, nblocks * (blk + tup), false}};
+        break;
+      case Opcode::DifStrip:
+        streams = {{d.src, nblocks * (blk + tup), false},
+                   {d.dst, nblocks * blk, true}};
+        break;
+      case Opcode::DifUpdate:
+        streams = {{d.src, nblocks * (blk + tup), false},
+                   {d.dst, nblocks * (blk + tup), true}};
+        break;
+      case Opcode::CacheFlush:
+        streams = {{d.src ? d.src : d.dst, d.size, false}};
+        break;
+      default:
+        break;
+    }
+
+    // ---- Translation (ATC -> IOMMU -> page fault path) -------------
+    Tick fault_stall = 0;
+    Tick walk_cost = 0;
+    bool faulted = false;
+    Addr fault_va = 0;
+    double ok_fraction = 1.0;
+    for (const Stream &s : streams) {
+        if (s.len == 0)
+            continue;
+        auto xo = translateRange(as, s.va, s.len, d.blocksOnFault());
+        fault_stall += xo.faultStall;
+        walk_cost += xo.walkCost;
+        if (xo.faulted) {
+            faulted = true;
+            fault_va = xo.faultVa;
+            ok_fraction = std::min(
+                ok_fraction, static_cast<double>(xo.okBytes) /
+                                 static_cast<double>(s.len));
+        }
+    }
+    if (fault_stall > 0) {
+        // Page faults genuinely block the PE (the G5 motivation).
+        stallTicks += fault_stall;
+        co_await sim.delay(fault_stall);
+    }
+
+    std::uint64_t eff_size = d.size;
+    if (faulted) {
+        eff_size = static_cast<std::uint64_t>(
+            static_cast<double>(d.size) * ok_fraction);
+        // Partial progress stops at a page boundary.
+        eff_size &= ~(pageBytes(PageSize::Size4K) - 1);
+        out.status = CompletionRecord::Status::PageFault;
+        out.faultAddr = fault_va;
+        // Truncate the timing streams to the completed prefix.
+        for (Stream &s : streams) {
+            s.len = d.size ? static_cast<std::uint64_t>(
+                                 static_cast<double>(s.len) *
+                                 static_cast<double>(eff_size) /
+                                 static_cast<double>(d.size))
+                           : 0;
+        }
+    }
+
+    // ---- Functional execution --------------------------------------
+    // (Timed below; data is moved here so results are exact.)
+    std::vector<std::uint8_t> scratch;
+    switch (d.op) {
+      case Opcode::Memmove:
+      case Opcode::Dualcast:
+      case Opcode::CopyCrc: {
+        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
+        std::uint32_t crc = d.crcSeed;
+        // Memory Move supports overlapping ranges: copy backwards
+        // when the destination overlaps above the source so chunks
+        // never read bytes an earlier chunk already overwrote.
+        const bool backward = d.op == Opcode::Memmove &&
+                              d.dst > d.src &&
+                              d.dst < d.src + eff_size;
+        const std::uint64_t nchunks =
+            (eff_size + scratchChunk - 1) / scratchChunk;
+        for (std::uint64_t c = 0; c < nchunks; ++c) {
+            std::uint64_t idx = backward ? nchunks - 1 - c : c;
+            std::uint64_t off = idx * scratchChunk;
+            std::uint64_t run =
+                std::min<std::uint64_t>(scratchChunk, eff_size - off);
+            as.read(d.src + off, scratch.data(), run);
+            if (d.op == Opcode::CopyCrc)
+                crc = crc32c(scratch.data(), run, crc);
+            if (d.op != Opcode::CrcGen)
+                as.write(d.dst + off, scratch.data(), run);
+            if (d.op == Opcode::Dualcast)
+                as.write(d.dst2 + off, scratch.data(), run);
+        }
+        if (d.op == Opcode::CopyCrc)
+            out.crc = crc32cFinish(crc);
+        out.bytesCompleted = eff_size;
+        break;
+      }
+      case Opcode::Fill: {
+        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
+        expandPattern2(d.pattern, d.pattern2, d.patternBytes,
+                       scratch.data(), scratch.size());
+        for (std::uint64_t off = 0; off < eff_size;
+             off += scratchChunk) {
+            std::uint64_t run =
+                std::min<std::uint64_t>(scratchChunk, eff_size - off);
+            as.write(d.dst + off, scratch.data(), run);
+        }
+        out.bytesCompleted = eff_size;
+        break;
+      }
+      case Opcode::CrcGen: {
+        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
+        std::uint32_t crc = d.crcSeed;
+        for (std::uint64_t off = 0; off < eff_size;
+             off += scratchChunk) {
+            std::uint64_t run =
+                std::min<std::uint64_t>(scratchChunk, eff_size - off);
+            as.read(d.src + off, scratch.data(), run);
+            crc = crc32c(scratch.data(), run, crc);
+        }
+        out.crc = crc32cFinish(crc);
+        out.bytesCompleted = eff_size;
+        break;
+      }
+      case Opcode::Compare:
+      case Opcode::ComparePattern: {
+        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
+        std::vector<std::uint8_t> other(scratch.size());
+        if (d.op == Opcode::ComparePattern)
+            expandPattern(d.pattern, other.data(), other.size());
+        out.result = 0;
+        out.bytesCompleted = eff_size;
+        for (std::uint64_t off = 0;
+             off < eff_size && out.result == 0; off += scratchChunk) {
+            std::uint64_t run =
+                std::min<std::uint64_t>(scratchChunk, eff_size - off);
+            as.read(d.src + off, scratch.data(), run);
+            if (d.op == Opcode::Compare)
+                as.read(d.src2 + off, other.data(), run);
+            for (std::uint64_t i = 0; i < run; ++i) {
+                if (scratch[i] != other[i]) {
+                    out.result = 1;
+                    out.bytesCompleted = off + i;
+                    break;
+                }
+            }
+        }
+        if (out.result == 1) {
+            // Early exit: only the compared prefix is streamed.
+            eff_size = std::min<std::uint64_t>(
+                eff_size,
+                (out.bytesCompleted / p.chunkBytes + 1) * p.chunkBytes);
+            for (Stream &s : streams)
+                s.len = std::min<std::uint64_t>(s.len, eff_size);
+        }
+        break;
+      }
+      case Opcode::CreateDelta: {
+        std::vector<std::uint8_t> orig(eff_size), mod(eff_size);
+        as.read(d.src, orig.data(), eff_size);
+        as.read(d.src2, mod.data(), eff_size);
+        DeltaResult dr = deltaCreate(orig.data(), mod.data(), eff_size,
+                                     d.maxRecordBytes);
+        if (!dr.record.empty())
+            as.write(d.dst, dr.record.data(), dr.record.size());
+        out.recordBytes = dr.record.size();
+        out.recordFits = dr.fits;
+        out.result = dr.mismatchedWords == 0 ? 0 : 1;
+        out.bytesCompleted = eff_size;
+        streams.push_back({d.dst, std::max<std::uint64_t>(
+                                      dr.record.size(), 1),
+                           true});
+        break;
+      }
+      case Opcode::ApplyDelta: {
+        std::vector<std::uint8_t> buf(eff_size), rec(d.recordBytes);
+        as.read(d.dst, buf.data(), eff_size);
+        as.read(d.src, rec.data(), d.recordBytes);
+        bool ok = deltaApply(buf.data(), eff_size, rec.data(),
+                             d.recordBytes);
+        if (ok) {
+            as.write(d.dst, buf.data(), eff_size);
+        } else {
+            out.status = CompletionRecord::Status::Unsupported;
+        }
+        out.bytesCompleted = eff_size;
+        break;
+      }
+      case Opcode::DifInsert:
+      case Opcode::DifCheck:
+      case Opcode::DifStrip:
+      case Opcode::DifUpdate: {
+        std::uint64_t eff_blocks = nblocks;
+        if (faulted)
+            eff_blocks = eff_size / blk;
+        std::uint64_t in_unit =
+            d.op == Opcode::DifInsert ? blk : blk + tup;
+        std::uint64_t out_unit =
+            d.op == Opcode::DifStrip ? blk : blk + tup;
+        std::vector<std::uint8_t> in(in_unit), outb(out_unit);
+        DifCheckResult chk;
+        for (std::uint64_t b = 0; b < eff_blocks && chk.ok; ++b) {
+            as.read(d.src + b * in_unit, in.data(), in_unit);
+            auto tag32 = static_cast<std::uint32_t>(b);
+            switch (d.op) {
+              case Opcode::DifInsert:
+                difInsert(in.data(), outb.data(), blk, 1, d.appTag,
+                          d.refTag + tag32);
+                as.write(d.dst + b * out_unit, outb.data(), out_unit);
+                break;
+              case Opcode::DifCheck:
+                chk = difCheck(in.data(), blk, 1, d.appTag,
+                               d.refTag + tag32);
+                if (!chk.ok)
+                    chk.failedBlock = b;
+                break;
+              case Opcode::DifStrip:
+                difStrip(in.data(), outb.data(), blk, 1);
+                as.write(d.dst + b * out_unit, outb.data(), out_unit);
+                break;
+              case Opcode::DifUpdate:
+                chk = difUpdate(in.data(), outb.data(), blk, 1,
+                                d.appTag, d.refTag + tag32,
+                                d.newAppTag, d.newRefTag + tag32);
+                if (chk.ok) {
+                    as.write(d.dst + b * out_unit, outb.data(),
+                             out_unit);
+                } else {
+                    chk.failedBlock = b;
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        if (!chk.ok) {
+            out.result = 1;
+            out.bytesCompleted = chk.failedBlock * blk;
+        } else {
+            out.bytesCompleted = eff_blocks * blk;
+        }
+        break;
+      }
+      case Opcode::CacheFlush:
+        // Handled entirely in the timing pass below.
+        out.bytesCompleted = eff_size;
+        break;
+      default:
+        out.status = CompletionRecord::Status::Unsupported;
+        break;
+    }
+
+    // ---- Timing: stream the chunks --------------------------------
+    const bool llc_hint = d.wantsCacheControl();
+    const int owner = dev.cacheOwnerId();
+    CacheModel &llc = mem.cache();
+
+    if (d.op == Opcode::CacheFlush) {
+        Addr va = streams[0].va;
+        Tick pace = sim.now();
+        std::uint64_t remaining = eff_size;
+        Addr cursor = va;
+        while (remaining > 0) {
+            std::uint64_t run =
+                std::min<std::uint64_t>(remaining, p.chunkBytes);
+            std::uint64_t wb = 0;
+            Addr pa0 = as.translate(cursor);
+            for (Addr a = lineAlignDown(pa0);
+                 a < lineAlignUp(pa0 + run); a += cacheLineSize) {
+                if (llc.flushLine(a))
+                    wb += cacheLineSize;
+            }
+            Tick link_end = 0;
+            if (wb > 0) {
+                int nid = MemSystem::paNode(pa0);
+                link_end = mem.occupyWrite(nid, dev.socket(), wb);
+            }
+            Tick lines = linesCovered(pa0, run);
+            pace = std::max(pace + lines * p.flushPerLine, link_end);
+            cursor += run;
+            remaining -= run;
+        }
+        if (sim.now() < pace)
+            co_await sim.delayUntil(pace);
+    } else {
+        // Primary stream length drives the engine pacing.
+        std::uint64_t primary = 0;
+        for (const Stream &s : streams)
+            primary = std::max(primary, s.len);
+
+        int src_node = 0;
+        bool first_is_hit = false;
+        bool has_read = false;
+        for (const Stream &s : streams) {
+            if (!s.write && s.len > 0) {
+                has_read = true;
+                Addr pa = as.translate(s.va);
+                src_node = MemSystem::paNode(pa);
+                first_is_hit = llc.probe(lineAlignDown(pa));
+                break;
+            }
+        }
+        if (!has_read && !streams.empty() && streams[0].len > 0)
+            src_node = MemSystem::paNode(as.translate(streams[0].va));
+
+        const double rate = effectiveRate(src_node);
+        Tick pace = sim.now();
+
+        for (std::uint64_t off = 0; off < primary;
+             off += p.chunkBytes) {
+            std::uint64_t run =
+                std::min<std::uint64_t>(p.chunkBytes, primary - off);
+            // Page walks overlap the stream; they surface only when
+            // slower than the data they translate for.
+            Tick chunk_walk = primary
+                ? static_cast<Tick>(
+                      static_cast<double>(walk_cost) *
+                      static_cast<double>(run) /
+                      static_cast<double>(primary))
+                : 0;
+            Tick link_end = 0;
+            for (const Stream &s : streams) {
+                if (s.len == 0)
+                    continue;
+                // Proportional slice of this stream for the chunk.
+                std::uint64_t s_beg = off * s.len / primary;
+                std::uint64_t s_end = (off + run) * s.len / primary;
+                if (s_end <= s_beg)
+                    continue;
+                std::uint64_t slice = s_end - s_beg;
+                Addr va = s.va + s_beg;
+
+                // Walk the slice page by page (PAs are contiguous
+                // only within a page).
+                std::uint64_t left = slice;
+                Addr cursor = va;
+                while (left > 0) {
+                    auto m = as.pageTable().lookup(cursor);
+                    panic_if(!m || !m->present,
+                             "stream touches untranslated page");
+                    std::uint64_t in_page =
+                        m->vaBase + m->size - cursor;
+                    std::uint64_t seg = std::min(left, in_page);
+                    Addr pa = m->paBase + (cursor - m->vaBase);
+                    int nid = MemSystem::paNode(pa);
+
+                    if (!s.write) {
+                        std::uint64_t hit_b = 0, miss_b = 0;
+                        for (Addr a = lineAlignDown(pa);
+                             a < lineAlignUp(pa + seg);
+                             a += cacheLineSize) {
+                            if (llc.deviceRead(a).hit)
+                                hit_b += cacheLineSize;
+                            else
+                                miss_b += cacheLineSize;
+                        }
+                        link_end = std::max(
+                            link_end, dev.fabricRead().occupy(seg));
+                        if (miss_b > 0) {
+                            link_end = std::max(
+                                link_end,
+                                mem.occupyRead(nid, dev.socket(),
+                                               miss_b));
+                        }
+                        if (hit_b > 0) {
+                            link_end = std::max(
+                                link_end,
+                                mem.llcLink().occupy(hit_b));
+                        }
+                        bytesRead += seg;
+                    } else {
+                        std::uint64_t evict_wb = 0;
+                        Addr evict_node_pa = 0;
+                        for (Addr a = lineAlignDown(pa);
+                             a < lineAlignUp(pa + seg);
+                             a += cacheLineSize) {
+                            auto res = llc.deviceWrite(a, owner,
+                                                       llc_hint);
+                            if (res.evictedDirty) {
+                                evict_wb += cacheLineSize;
+                                evict_node_pa = res.evictedPa;
+                            }
+                        }
+                        link_end = std::max(
+                            link_end, dev.fabricWrite().occupy(seg));
+                        if (llc_hint) {
+                            link_end = std::max(
+                                link_end, mem.llcLink().occupy(seg));
+                        } else {
+                            link_end = std::max(
+                                link_end,
+                                mem.occupyWrite(nid, dev.socket(),
+                                                seg));
+                        }
+                        if (evict_wb > 0) {
+                            int vn = MemSystem::paNode(evict_node_pa);
+                            link_end = std::max(
+                                link_end,
+                                mem.node(vn).writeLink.occupy(
+                                    evict_wb));
+                        }
+                        bytesWritten += seg;
+                    }
+                    cursor += seg;
+                    left -= seg;
+                }
+            }
+            Tick step = std::max(transferTime(run, rate), chunk_walk);
+            pace = std::max(pace + step, link_end);
+            if (sim.now() < pace)
+                co_await sim.delayUntil(pace);
+        }
+
+        // First-read fill latency is exposed in the completion time
+        // (it pipelines with the next descriptor), handled below.
+        if (has_read) {
+            Tick first_lat = first_is_hit
+                ? mem.cfg().llcLatency
+                : mem.readLatencyOf(src_node, dev.socket());
+            // Stash in xlate-free variable via publish extra latency.
+            Tick end = finishAt(sim.now());
+            if (sim.now() < end)
+                co_await sim.delayUntil(end);
+            busyTicks += sim.now() - start;
+            ++descriptorsProcessed;
+            publish(d, out, w.parent, first_lat);
+            co_return;
+        }
+    }
+
+    Tick end = finishAt(sim.now());
+    if (sim.now() < end)
+        co_await sim.delayUntil(end);
+    busyTicks += sim.now() - start;
+    ++descriptorsProcessed;
+    publish(d, out, w.parent, 0);
+}
+
+CoTask
+Engine::processBatch(Work w)
+{
+    Simulation &sim = dev.sim();
+    const DsaParams &p = dev.params();
+    WorkDescriptor d = w.desc;
+
+    bool nested = false;
+    if (d.batch) {
+        for (const WorkDescriptor &sub : *d.batch)
+            nested |= sub.op == Opcode::Batch;
+    }
+    if (!d.batch || d.batch->empty() ||
+        d.batch->size() > p.maxBatchSize || nested) {
+        // The DSA spec forbids batch descriptors inside a batch.
+        co_await sim.delay(p.batchOverhead);
+        if (d.completion)
+            d.completion->complete(
+                CompletionRecord::Status::Unsupported);
+        co_return;
+    }
+
+    const std::uint64_t n = d.batch->size();
+    // Fetch the descriptor array from memory (64 B per descriptor).
+    co_await sim.delay(p.batchOverhead + n * p.batchPerDescriptorFetch);
+
+    auto tracker = std::make_shared<BatchTracker>(sim, n);
+    for (const WorkDescriptor &sub : *d.batch) {
+        Work sw;
+        sw.desc = sub;
+        // Sub-descriptors inherit the batch's PASID if unset.
+        if (sw.desc.pasid == 0)
+            sw.desc.pasid = d.pasid;
+        sw.enqueuedAt = sim.now();
+        sw.parent = tracker;
+        group.redispatch(sw);
+    }
+    ++batchesProcessed;
+    watchBatch(d, tracker);
+}
+
+SimTask
+Engine::watchBatch(WorkDescriptor d,
+                   std::shared_ptr<BatchTracker> tracker)
+{
+    Simulation &sim = dev.sim();
+    co_await tracker->latch.wait();
+    co_await sim.delay(dev.params().completionWrite);
+    if (d.completion) {
+        d.completion->complete(
+            tracker->anyFailed ? CompletionRecord::Status::BatchError
+                               : CompletionRecord::Status::Success);
+    }
+}
+
+} // namespace dsasim

@@ -1,0 +1,57 @@
+#include "dsa/group.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+std::optional<Work>
+Group::arbitrate()
+{
+    ++serveClock;
+
+    if (!internal.empty()) {
+        Work w = std::move(internal.front());
+        internal.pop_front();
+        ++descriptorsArbitrated;
+        return w;
+    }
+
+    // Anti-starvation (§3.2): a WQ left unserved for a long stretch
+    // wins arbitration outright, regardless of priority.
+    constexpr std::uint64_t starvation_bound = 16;
+    WorkQueue *best = nullptr;
+    for (WorkQueue *wq : wqs) {
+        if (wq->empty())
+            continue;
+        if (serveClock - wq->lastServed > starvation_bound) {
+            best = wq;
+            break;
+        }
+        if (!best) {
+            best = wq;
+            continue;
+        }
+        // Higher priority wins; equal priority rotates by
+        // least-recently-served.
+        if (wq->priority > best->priority ||
+            (wq->priority == best->priority &&
+             wq->lastServed < best->lastServed)) {
+            best = wq;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+
+    auto entry = best->dequeue();
+    panic_if(!entry, "non-empty WQ failed to dequeue");
+    best->lastServed = serveClock;
+    ++descriptorsArbitrated;
+
+    Work w;
+    w.desc = std::move(entry->desc);
+    w.enqueuedAt = entry->enqueuedAt;
+    return w;
+}
+
+} // namespace dsasim

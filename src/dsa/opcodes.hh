@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DSA operation opcodes (Table 1 of the paper, aligned with the DSA
+ * architecture specification's operation set).
+ */
+
+#ifndef DSASIM_DSA_OPCODES_HH
+#define DSASIM_DSA_OPCODES_HH
+
+#include <cstdint>
+
+namespace dsasim
+{
+
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Batch,          ///< process an array of work descriptors (F2)
+    Drain,          ///< completes once prior descriptors complete
+    Memmove,        ///< Memory Copy
+    Fill,           ///< Memory Fill (8-byte pattern)
+    Compare,        ///< Memory Compare (two buffers)
+    ComparePattern, ///< Compare against an 8-byte pattern
+    CreateDelta,    ///< Create Delta Record
+    ApplyDelta,     ///< Apply Delta Record
+    Dualcast,       ///< copy to two destinations
+    CrcGen,         ///< CRC32-C over source data
+    CopyCrc,        ///< copy + CRC32-C
+    DifCheck,
+    DifInsert,
+    DifStrip,
+    DifUpdate,
+    CacheFlush,     ///< evict an address range from the caches
+};
+
+inline const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Batch: return "batch";
+      case Opcode::Drain: return "drain";
+      case Opcode::Memmove: return "memmove";
+      case Opcode::Fill: return "fill";
+      case Opcode::Compare: return "compare";
+      case Opcode::ComparePattern: return "compare-pattern";
+      case Opcode::CreateDelta: return "create-delta";
+      case Opcode::ApplyDelta: return "apply-delta";
+      case Opcode::Dualcast: return "dualcast";
+      case Opcode::CrcGen: return "crc-gen";
+      case Opcode::CopyCrc: return "copy-crc";
+      case Opcode::DifCheck: return "dif-check";
+      case Opcode::DifInsert: return "dif-insert";
+      case Opcode::DifStrip: return "dif-strip";
+      case Opcode::DifUpdate: return "dif-update";
+      case Opcode::CacheFlush: return "cache-flush";
+    }
+    return "?";
+}
+
+/** True for operations that write no destination data. */
+inline bool
+opcodeReadOnly(Opcode op)
+{
+    switch (op) {
+      case Opcode::Compare:
+      case Opcode::ComparePattern:
+      case Opcode::CrcGen:
+      case Opcode::DifCheck:
+      case Opcode::CacheFlush:
+      case Opcode::Nop:
+      case Opcode::Drain:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace dsasim
+
+#endif // DSASIM_DSA_OPCODES_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DTO — the DSA Transparent Offload library (paper §5 and the
+ * CacheLib case study, Fig. 19).
+ *
+ * Stands in for the LD_PRELOAD interposer: an application keeps
+ * calling memcpy()/memmove()/memset()/memcmp() and DTO redirects
+ * calls at or above a size threshold to a *synchronous* DSA job,
+ * leaving the rest on the core. Faulting offloads (block-on-fault
+ * disabled, as the paper's CacheBench deployment ran) are redone on
+ * the CPU, touching the pages in the process.
+ */
+
+#ifndef DSASIM_DTO_DTO_HH
+#define DSASIM_DTO_DTO_HH
+
+#include <cstdint>
+
+#include "dml/dml.hh"
+
+namespace dsasim
+{
+
+class Dto
+{
+  public:
+    struct Config
+    {
+        /** Offload at or above this size (paper: 8 KB for Fig. 19). */
+        std::uint64_t threshold = 8192;
+        /** Keep destination writes in LLC (cache-control hint). */
+        bool cacheControl = true;
+    };
+
+    Dto(dml::Executor &exec, SwKernels &k, Config cfg)
+        : executor(exec), kernels(k), config(cfg)
+    {}
+
+    Dto(dml::Executor &exec, SwKernels &k)
+        : Dto(exec, k, Config{})
+    {}
+
+    /// @name Intercepted libc entry points.
+    /// @{
+    CoTask memcpyCall(Core &core, AddressSpace &as, Addr dst, Addr src,
+                      std::uint64_t n);
+    CoTask memmoveCall(Core &core, AddressSpace &as, Addr dst,
+                       Addr src, std::uint64_t n);
+    CoTask memsetCall(Core &core, AddressSpace &as, Addr dst,
+                      std::uint8_t value, std::uint64_t n);
+    /** @p result receives memcmp-style 0 / non-zero. */
+    CoTask memcmpCall(Core &core, AddressSpace &as, Addr a, Addr b,
+                      std::uint64_t n, int &result);
+    /// @}
+
+    /// @name Interposition statistics.
+    /// @{
+    std::uint64_t calls = 0;
+    std::uint64_t offloaded = 0;
+    std::uint64_t cpuFallbacks = 0; ///< faulted offloads redone on CPU
+    std::uint64_t bytesOffloaded = 0;
+    std::uint64_t bytesOnCpu = 0;
+    /// @}
+
+  private:
+    CoTask dispatch(Core &core, WorkDescriptor d, std::uint64_t n,
+                    int *cmp_result);
+
+    dml::Executor &executor;
+    SwKernels &kernels;
+    Config config;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DTO_DTO_HH

@@ -1,0 +1,131 @@
+#include "mem/address_space.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+AddressSpace::AddressSpace(MemSystem &ms, Pasid id)
+    : mem(ms), id_(id)
+{}
+
+Addr
+AddressSpace::alloc(std::uint64_t bytes, MemKind intent,
+                    PageSize page_size, int requester_socket)
+{
+    fatal_if(bytes == 0, "zero-sized allocation");
+    const std::uint64_t page = pageBytes(page_size);
+    const std::uint64_t size = (bytes + page - 1) & ~(page - 1);
+
+    Addr va_base = (allocNext + page - 1) & ~(page - 1);
+    // Leave an unmapped guard page between regions so stray accesses
+    // show up as translation panics rather than silent corruption.
+    allocNext = va_base + size + page;
+
+    int node_id = mem.nodeIdFor(intent, requester_socket);
+    MemNode &n = mem.node(node_id);
+    Addr pa_off = n.allocPhys(size, page);
+
+    // Map page-by-page so present bits (fault injection) stay
+    // page-granular even though the backing is contiguous.
+    for (std::uint64_t off = 0; off < size; off += page) {
+        pt.map(va_base + off,
+               MemSystem::makePa(node_id, pa_off + off), page);
+    }
+    regions.push_back({va_base, size, page_size, node_id});
+    return va_base;
+}
+
+void
+AddressSpace::read(Addr va, void *dst, std::uint64_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        auto m = pt.lookup(va);
+        panic_if(!m, "functional read of unmapped va=0x%llx",
+                 static_cast<unsigned long long>(va));
+        std::uint64_t in_page = m->vaBase + m->size - va;
+        std::uint64_t run = std::min(len, in_page);
+        mem.physRead(m->paBase + (va - m->vaBase), out, run);
+        va += run;
+        out += run;
+        len -= run;
+    }
+}
+
+void
+AddressSpace::write(Addr va, const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        auto m = pt.lookup(va);
+        panic_if(!m, "functional write of unmapped va=0x%llx",
+                 static_cast<unsigned long long>(va));
+        std::uint64_t in_page = m->vaBase + m->size - va;
+        std::uint64_t run = std::min(len, in_page);
+        mem.physWrite(m->paBase + (va - m->vaBase), in, run);
+        va += run;
+        in += run;
+        len -= run;
+    }
+}
+
+void
+AddressSpace::fill(Addr va, std::uint8_t value, std::uint64_t len)
+{
+    while (len > 0) {
+        auto m = pt.lookup(va);
+        panic_if(!m, "functional fill of unmapped va=0x%llx",
+                 static_cast<unsigned long long>(va));
+        std::uint64_t in_page = m->vaBase + m->size - va;
+        std::uint64_t run = std::min(len, in_page);
+        mem.physFill(m->paBase + (va - m->vaBase), value, run);
+        va += run;
+        len -= run;
+    }
+}
+
+bool
+AddressSpace::equal(Addr va_a, Addr va_b, std::uint64_t len) const
+{
+    constexpr std::uint64_t block = 1 << 16;
+    std::vector<std::uint8_t> a(std::min(len, block));
+    std::vector<std::uint8_t> b(std::min(len, block));
+    while (len > 0) {
+        std::uint64_t run = std::min(len, block);
+        read(va_a, a.data(), run);
+        read(va_b, b.data(), run);
+        if (std::memcmp(a.data(), b.data(), run) != 0)
+            return false;
+        va_a += run;
+        va_b += run;
+        len -= run;
+    }
+    return true;
+}
+
+std::uint8_t
+AddressSpace::byteAt(Addr va) const
+{
+    std::uint8_t v = 0;
+    read(va, &v, 1);
+    return v;
+}
+
+PageSize
+AddressSpace::pageSizeOf(Addr va) const
+{
+    for (const auto &r : regions) {
+        if (va >= r.vaBase && va < r.vaBase + r.size)
+            return r.pageSize;
+    }
+    panic("pageSizeOf unmapped va=0x%llx",
+          static_cast<unsigned long long>(va));
+}
+
+} // namespace dsasim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * AddressSpace: a simulated process's virtual address space.
+ *
+ * Provides an mmap-like allocator over the memory nodes (choice of
+ * tier and page size), the PASID identity used for SVM offload, and
+ * functional byte access used by workloads and by the device models.
+ */
+
+#ifndef DSASIM_MEM_ADDRESS_SPACE_HH
+#define DSASIM_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/page_table.hh"
+#include "mem/types.hh"
+
+namespace dsasim
+{
+
+class MemSystem;
+
+class AddressSpace
+{
+  public:
+    AddressSpace(MemSystem &ms, Pasid id);
+
+    Pasid pasid() const { return id_; }
+    PageTable &pageTable() { return pt; }
+    const PageTable &pageTable() const { return pt; }
+
+    /**
+     * Allocate @p bytes backed by @p intent memory with @p page_size
+     * pages. Returns the starting VA (always page-aligned).
+     */
+    Addr alloc(std::uint64_t bytes, MemKind intent = MemKind::DramLocal,
+               PageSize page_size = PageSize::Size4K,
+               int requester_socket = 0);
+
+    /// @name Functional access by virtual address (no timing).
+    /// @{
+    void read(Addr va, void *dst, std::uint64_t len) const;
+    void write(Addr va, const void *src, std::uint64_t len);
+    void fill(Addr va, std::uint8_t value, std::uint64_t len);
+    bool equal(Addr va_a, Addr va_b, std::uint64_t len) const;
+    std::uint8_t byteAt(Addr va) const;
+    /// @}
+
+    /** Functional VA -> PA (page must be mapped and present). */
+    Addr translate(Addr va) const { return pt.translateOrDie(va); }
+
+    /**
+     * Evict the page holding @p va (clears the present bit), forcing
+     * the next device access to take the page-fault path.
+     */
+    void evictPage(Addr va) { pt.setPresent(va, false); }
+    void restorePage(Addr va) { pt.setPresent(va, true); }
+
+    /** Page size used by the region containing @p va. */
+    PageSize pageSizeOf(Addr va) const;
+
+  private:
+    struct Region
+    {
+        Addr vaBase;
+        std::uint64_t size;
+        PageSize pageSize;
+        int nodeId;
+    };
+
+    MemSystem &mem;
+    Pasid id_;
+    PageTable pt;
+    std::vector<Region> regions;
+    Addr allocNext = 0x100000000ull; // keep low VAs obviously invalid
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_MEM_ADDRESS_SPACE_HH

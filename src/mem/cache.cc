@@ -1,0 +1,204 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+CacheModel::CacheModel(const Config &cfg)
+    : config(cfg)
+{
+    fatal_if(cfg.ways == 0, "LLC must have at least one way");
+    fatal_if(cfg.ddioWays > cfg.ways,
+             "DDIO ways (%u) exceed total ways (%u)",
+             cfg.ddioWays, cfg.ways);
+    std::uint64_t line_count = cfg.sizeBytes / cacheLineSize;
+    sets = static_cast<unsigned>(line_count / cfg.ways);
+    fatal_if(sets == 0, "LLC too small for %u ways", cfg.ways);
+    lines.resize(static_cast<std::size_t>(sets) * cfg.ways);
+}
+
+CacheModel::Line *
+CacheModel::find(Addr pa)
+{
+    std::uint64_t tag = tagOf(pa);
+    Line *set = &lines[setIndex(pa) * config.ways];
+    for (unsigned w = 0; w < config.ways; ++w) {
+        if (lineValid(set[w]) && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheModel::Line *
+CacheModel::findConst(Addr pa) const
+{
+    std::uint64_t tag = tagOf(pa);
+    const Line *set = &lines[setIndex(pa) * config.ways];
+    for (unsigned w = 0; w < config.ways; ++w) {
+        if (lineValid(set[w]) && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+CacheModel::Line &
+CacheModel::victim(Addr pa, unsigned way_lo, unsigned way_hi)
+{
+    Line *set = &lines[setIndex(pa) * config.ways];
+    // Prefer free ways scanning from the top so CPU fills gravitate
+    // away from the DDIO ways (0..ddioWays) while those are free —
+    // avoiding an artificial placement pathology where demand lines
+    // keep landing in the device-churned partition.
+    Line *best = &set[way_lo];
+    for (unsigned i = way_hi; i-- > way_lo;) {
+        if (!lineValid(set[i])) {
+            set[i].valid = false; // stale epoch: treat as free
+            return set[i];
+        }
+        if (set[i].lastUse <= best->lastUse)
+            best = &set[i];
+    }
+    return *best;
+}
+
+void
+CacheModel::dropLine(Line &line)
+{
+    if (!line.valid)
+        return;
+    line.valid = false;
+    --validLines;
+    auto it = ownerLines.find(line.owner);
+    panic_if(it == ownerLines.end() || it->second == 0,
+             "owner occupancy underflow (owner=%d)", line.owner);
+    --it->second;
+}
+
+void
+CacheModel::installLine(Line &line, Addr pa, int owner, bool dirty,
+                        AccessResult &result)
+{
+    if (line.valid) {
+        result.evictedOther = line.owner != owner;
+        result.evictedDirty = line.dirty;
+        result.evictedPa = line.tag << 6;
+        dropLine(line);
+    }
+    line.valid = true;
+    line.epoch = flushEpoch;
+    line.dirty = dirty;
+    line.tag = tagOf(pa);
+    line.owner = owner;
+    line.lastUse = ++useClock;
+    ++validLines;
+    ++ownerLines[owner];
+    result.allocated = true;
+}
+
+CacheModel::AccessResult
+CacheModel::cpuAccess(Addr pa, int owner, bool is_write)
+{
+    AccessResult result;
+    if (Line *l = find(pa)) {
+        result.hit = true;
+        l->lastUse = ++useClock;
+        l->dirty = l->dirty || is_write;
+        // Occupancy follows the most recent toucher, as CMT's RMID
+        // accounting effectively does for shared lines.
+        if (l->owner != owner) {
+            auto it = ownerLines.find(l->owner);
+            if (it != ownerLines.end() && it->second > 0)
+                --it->second;
+            l->owner = owner;
+            ++ownerLines[owner];
+        }
+        return result;
+    }
+    installLine(victim(pa, 0, config.ways), pa, owner, is_write, result);
+    return result;
+}
+
+CacheModel::AccessResult
+CacheModel::deviceRead(Addr pa)
+{
+    AccessResult result;
+    if (Line *l = find(pa)) {
+        result.hit = true;
+        l->lastUse = ++useClock;
+    }
+    return result;
+}
+
+CacheModel::AccessResult
+CacheModel::deviceWrite(Addr pa, int owner, bool alloc_hint)
+{
+    AccessResult result;
+    if (!alloc_hint) {
+        // Non-allocating write: update memory, invalidate any copy.
+        if (Line *l = find(pa)) {
+            dropLine(*l);
+        }
+        return result;
+    }
+    if (Line *l = find(pa)) {
+        result.hit = true;
+        l->lastUse = ++useClock;
+        l->dirty = true;
+        if (l->owner != owner) {
+            auto it = ownerLines.find(l->owner);
+            if (it != ownerLines.end() && it->second > 0)
+                --it->second;
+            l->owner = owner;
+            ++ownerLines[owner];
+        }
+        return result;
+    }
+    // DDIO-style allocating write: restricted to the DDIO ways.
+    unsigned hi = config.ddioWays > 0 ? config.ddioWays : config.ways;
+    installLine(victim(pa, 0, hi), pa, owner, true, result);
+    return result;
+}
+
+bool
+CacheModel::probe(Addr pa) const
+{
+    return findConst(pa) != nullptr;
+}
+
+void
+CacheModel::invalidate(Addr pa)
+{
+    if (Line *l = find(pa))
+        dropLine(*l);
+}
+
+bool
+CacheModel::flushLine(Addr pa)
+{
+    if (Line *l = find(pa)) {
+        bool was_dirty = l->dirty;
+        dropLine(*l);
+        return was_dirty;
+    }
+    return false;
+}
+
+void
+CacheModel::flushRange(Addr addr, std::uint64_t size)
+{
+    Addr end = lineAlignUp(addr + size);
+    for (Addr a = lineAlignDown(addr); a < end; a += cacheLineSize)
+        invalidate(a);
+}
+
+void
+CacheModel::invalidateAll()
+{
+    // Epoch bump: every line's epoch goes stale in O(1).
+    ++flushEpoch;
+    validLines = 0;
+    ownerLines.clear();
+}
+
+} // namespace dsasim

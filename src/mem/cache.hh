@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared last-level cache model with a DDIO way partition.
+ *
+ * A set-associative directory (tags only — data lives in the
+ * PhysicalMemory backing store) with per-owner occupancy accounting,
+ * mirroring what Intel's pqos/CMT exposes and what the paper uses for
+ * its Fig. 12 occupancy plots.
+ *
+ * The DDIO mechanism is modeled the way the paper describes it
+ * (§4.5, §6.2): CPU demand fills may allocate in any way; I/O-device
+ * writes with the cache-control hint set may only allocate within the
+ * first `ddioWays` ways of each set, and device reads never allocate.
+ * This single rule produces both the cache-pollution immunity
+ * (Fig. 12/13) and the "leaky DMA" throughput cliff (Fig. 10).
+ */
+
+#ifndef DSASIM_MEM_CACHE_HH
+#define DSASIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace dsasim
+{
+
+class CacheModel
+{
+  public:
+    struct Config
+    {
+        std::uint64_t sizeBytes = 105ull << 20; ///< SPR: 105 MB LLC
+        unsigned ways = 15;
+        unsigned ddioWays = 2;
+    };
+
+    struct AccessResult
+    {
+        bool hit = false;
+        bool allocated = false;
+        /** A valid line belonging to another owner was evicted. */
+        bool evictedOther = false;
+        /**
+         * The evicted victim was dirty: the caller owes a writeback
+         * to memory (the "leaky DMA" traffic of Fig. 10).
+         */
+        bool evictedDirty = false;
+        /** PA of the dirty victim line (valid when evictedDirty). */
+        Addr evictedPa = 0;
+    };
+
+    explicit CacheModel(const Config &cfg);
+
+    unsigned numWays() const { return config.ways; }
+    unsigned numSets() const { return sets; }
+    std::uint64_t sizeBytes() const { return config.sizeBytes; }
+
+    /**
+     * CPU load/store. Allocates on miss (any way). @p owner feeds the
+     * occupancy accounting; stores mark the line dirty.
+     */
+    AccessResult cpuAccess(Addr pa, int owner, bool is_write = false);
+
+    /** Device read: hits are served from LLC; misses do not allocate. */
+    AccessResult deviceRead(Addr pa);
+
+    /**
+     * Device write. With @p alloc_hint (cache-control flag = 1) the
+     * line allocates within the DDIO ways; otherwise any present copy
+     * is invalidated and the write targets memory.
+     */
+    AccessResult deviceWrite(Addr pa, int owner, bool alloc_hint);
+
+    /** True if the line holding @p pa is present (no state change). */
+    bool probe(Addr pa) const;
+
+    /** Invalidate the line holding @p pa, if present. */
+    void invalidate(Addr pa);
+
+    /**
+     * clflush-style invalidate: returns true when the line was
+     * present *and dirty* (the caller owes a memory writeback).
+     */
+    bool flushLine(Addr pa);
+
+    /** Invalidate every line overlapping [addr, addr+size). */
+    void flushRange(Addr addr, std::uint64_t size);
+
+    /** Drop every valid line (test scaffolding between iterations). */
+    void invalidateAll();
+
+    /** Bytes currently occupied by lines allocated by @p owner. */
+    std::uint64_t
+    occupancyBytes(int owner) const
+    {
+        auto it = ownerLines.find(owner);
+        return it == ownerLines.end()
+            ? 0
+            : it->second * cacheLineSize;
+    }
+
+    /** Bytes currently valid across all owners. */
+    std::uint64_t
+    totalOccupancyBytes() const
+    {
+        return validLines * cacheLineSize;
+    }
+
+    /** Capacity of the DDIO partition in bytes. */
+    std::uint64_t
+    ddioCapacityBytes() const
+    {
+        return static_cast<std::uint64_t>(sets) * config.ddioWays *
+               cacheLineSize;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        std::uint64_t epoch = 0;
+        int owner = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Valid under the current flush epoch (invalidateAll is O(1)). */
+    bool
+    lineValid(const Line &l) const
+    {
+        return l.valid && l.epoch == flushEpoch;
+    }
+
+    Line *find(Addr pa);
+    const Line *findConst(Addr pa) const;
+    /** Pick the LRU way in [way_lo, way_hi) of the set holding pa. */
+    Line &victim(Addr pa, unsigned way_lo, unsigned way_hi);
+    void installLine(Line &line, Addr pa, int owner, bool dirty,
+                     AccessResult &result);
+    void dropLine(Line &line);
+
+    std::uint64_t setIndex(Addr pa) const { return (pa >> 6) % sets; }
+    std::uint64_t tagOf(Addr pa) const { return pa >> 6; }
+
+    Config config;
+    unsigned sets;
+    std::vector<Line> lines; // sets * ways, row-major by set
+    std::unordered_map<int, std::uint64_t> ownerLines;
+    std::uint64_t validLines = 0;
+    std::uint64_t useClock = 0;
+    std::uint64_t flushEpoch = 0;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_MEM_CACHE_HH

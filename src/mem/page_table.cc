@@ -1,0 +1,67 @@
+#include "mem/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+void
+PageTable::map(Addr va_base, Addr pa_base, std::uint64_t size)
+{
+    panic_if(size == 0, "mapping of zero size at va=0x%llx",
+             static_cast<unsigned long long>(va_base));
+    // Check the neighbors for overlap.
+    auto next = table.lower_bound(va_base);
+    if (next != table.end()) {
+        panic_if(va_base + size > next->second.vaBase,
+                 "overlapping mapping at va=0x%llx",
+                 static_cast<unsigned long long>(va_base));
+    }
+    if (next != table.begin()) {
+        auto prev = std::prev(next);
+        panic_if(prev->second.vaBase + prev->second.size > va_base,
+                 "overlapping mapping at va=0x%llx",
+                 static_cast<unsigned long long>(va_base));
+    }
+    table.emplace(va_base, Mapping{va_base, pa_base, size, true});
+}
+
+std::optional<PageTable::Mapping>
+PageTable::lookup(Addr va) const
+{
+    auto it = table.upper_bound(va);
+    if (it == table.begin())
+        return std::nullopt;
+    --it;
+    const Mapping &m = it->second;
+    if (va < m.vaBase || va >= m.vaBase + m.size)
+        return std::nullopt;
+    return m;
+}
+
+Addr
+PageTable::translateOrDie(Addr va) const
+{
+    auto m = lookup(va);
+    panic_if(!m, "translation of unmapped va=0x%llx",
+             static_cast<unsigned long long>(va));
+    panic_if(!m->present, "translation of non-present va=0x%llx",
+             static_cast<unsigned long long>(va));
+    return m->paBase + (va - m->vaBase);
+}
+
+void
+PageTable::setPresent(Addr va, bool present)
+{
+    auto it = table.upper_bound(va);
+    panic_if(it == table.begin(), "setPresent on unmapped va=0x%llx",
+             static_cast<unsigned long long>(va));
+    --it;
+    Mapping &m = it->second;
+    panic_if(va < m.vaBase || va >= m.vaBase + m.size,
+             "setPresent on unmapped va=0x%llx",
+             static_cast<unsigned long long>(va));
+    m.present = present;
+}
+
+} // namespace dsasim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-PASID page table: virtual page -> physical page mappings at
+ * either 4 KiB or 2 MiB granularity, with a present bit so tests can
+ * exercise the device page-fault path (DSA block-on-fault semantics).
+ */
+
+#ifndef DSASIM_MEM_PAGE_TABLE_HH
+#define DSASIM_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "mem/types.hh"
+
+namespace dsasim
+{
+
+class PageTable
+{
+  public:
+    struct Mapping
+    {
+        Addr vaBase = 0;
+        Addr paBase = 0;
+        std::uint64_t size = 0;
+        bool present = true;
+    };
+
+    /** Install a page mapping. Overlaps are a caller bug. */
+    void map(Addr va_base, Addr pa_base, std::uint64_t size);
+
+    /**
+     * Translate @p va. Returns nullopt if unmapped. A mapping with
+     * present == false is returned as-is; callers decide whether to
+     * fault or fail.
+     */
+    std::optional<Mapping> lookup(Addr va) const;
+
+    /** Functional VA->PA for a mapped, present address. */
+    Addr translateOrDie(Addr va) const;
+
+    /** Clear/restore the present bit of the page holding @p va. */
+    void setPresent(Addr va, bool present);
+
+    std::size_t mappingCount() const { return table.size(); }
+
+  private:
+    // Keyed by vaBase; mappings never overlap.
+    std::map<Addr, Mapping> table;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_MEM_PAGE_TABLE_HH

@@ -1,0 +1,110 @@
+#include "mem/phys_mem.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+std::uint8_t *
+PhysicalMemory::chunkFor(Addr pa)
+{
+    panic_if(pa >= capacity, "physical access beyond capacity "
+             "(pa=0x%llx cap=0x%llx)",
+             static_cast<unsigned long long>(pa),
+             static_cast<unsigned long long>(capacity));
+    std::uint64_t idx = pa >> chunkShift;
+    auto it = chunks.find(idx);
+    if (it == chunks.end()) {
+        auto mem = std::make_unique<std::uint8_t[]>(chunkSize);
+        std::memset(mem.get(), 0, chunkSize);
+        it = chunks.emplace(idx, std::move(mem)).first;
+    }
+    return it->second.get();
+}
+
+const std::uint8_t *
+PhysicalMemory::chunkForConst(Addr pa) const
+{
+    panic_if(pa >= capacity, "physical access beyond capacity "
+             "(pa=0x%llx cap=0x%llx)",
+             static_cast<unsigned long long>(pa),
+             static_cast<unsigned long long>(capacity));
+    std::uint64_t idx = pa >> chunkShift;
+    auto it = chunks.find(idx);
+    return it == chunks.end() ? nullptr : it->second.get();
+}
+
+void
+PhysicalMemory::read(Addr pa, void *dst, std::uint64_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        std::uint64_t off = pa & chunkMask;
+        std::uint64_t run = std::min(len, chunkSize - off);
+        const std::uint8_t *c = chunkForConst(pa);
+        if (c) {
+            std::memcpy(out, c + off, run);
+        } else {
+            // Untouched memory reads as zero without materializing.
+            std::memset(out, 0, run);
+        }
+        pa += run;
+        out += run;
+        len -= run;
+    }
+}
+
+void
+PhysicalMemory::write(Addr pa, const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        std::uint64_t off = pa & chunkMask;
+        std::uint64_t run = std::min(len, chunkSize - off);
+        std::memcpy(chunkFor(pa) + off, in, run);
+        pa += run;
+        in += run;
+        len -= run;
+    }
+}
+
+void
+PhysicalMemory::fill(Addr pa, std::uint8_t value, std::uint64_t len)
+{
+    while (len > 0) {
+        std::uint64_t off = pa & chunkMask;
+        std::uint64_t run = std::min(len, chunkSize - off);
+        std::memset(chunkFor(pa) + off, value, run);
+        pa += run;
+        len -= run;
+    }
+}
+
+std::uint8_t *
+PhysicalMemory::hostSpan(Addr pa, std::uint64_t len)
+{
+    std::uint64_t off = pa & chunkMask;
+    panic_if(off + len > chunkSize,
+             "hostSpan crosses a chunk boundary (pa=0x%llx len=%llu)",
+             static_cast<unsigned long long>(pa),
+             static_cast<unsigned long long>(len));
+    return chunkFor(pa) + off;
+}
+
+const std::uint8_t *
+PhysicalMemory::hostSpan(Addr pa, std::uint64_t len) const
+{
+    std::uint64_t off = pa & chunkMask;
+    panic_if(off + len > chunkSize,
+             "hostSpan crosses a chunk boundary (pa=0x%llx len=%llu)",
+             static_cast<unsigned long long>(pa),
+             static_cast<unsigned long long>(len));
+    const std::uint8_t *c = chunkForConst(pa);
+    panic_if(!c, "const hostSpan of untouched memory (pa=0x%llx)",
+             static_cast<unsigned long long>(pa));
+    return c + off;
+}
+
+} // namespace dsasim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparse physical backing store.
+ *
+ * Every simulated memory node owns one PhysicalMemory. Storage is
+ * materialized lazily in 2 MiB chunks so that multi-GB simulated
+ * capacities cost only what the workload actually touches. All data
+ * operations in dsasim are *functional* — a simulated copy really
+ * moves these bytes — so tests can verify end-to-end data integrity.
+ */
+
+#ifndef DSASIM_MEM_PHYS_MEM_HH
+#define DSASIM_MEM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/types.hh"
+
+namespace dsasim
+{
+
+class PhysicalMemory
+{
+  public:
+    static constexpr std::uint64_t chunkShift = 21; // 2 MiB
+    static constexpr std::uint64_t chunkSize = 1ull << chunkShift;
+    static constexpr std::uint64_t chunkMask = chunkSize - 1;
+
+    explicit PhysicalMemory(std::uint64_t capacity_bytes)
+        : capacity(capacity_bytes)
+    {}
+
+    std::uint64_t capacityBytes() const { return capacity; }
+
+    /** Bytes of host memory actually materialized. */
+    std::uint64_t
+    residentBytes() const
+    {
+        return chunks.size() * chunkSize;
+    }
+
+    /** Copy @p len bytes at offset @p pa into @p dst. */
+    void read(Addr pa, void *dst, std::uint64_t len) const;
+
+    /** Copy @p len bytes from @p src to offset @p pa. */
+    void write(Addr pa, const void *src, std::uint64_t len);
+
+    /** Fill [pa, pa+len) with byte @p value. */
+    void fill(Addr pa, std::uint8_t value, std::uint64_t len);
+
+    /**
+     * Direct host pointer to [pa, pa+len). Only valid while the
+     * PhysicalMemory lives and only when the range does not cross a
+     * chunk boundary; callers that operate page-at-a-time (pages
+     * never straddle chunks) rely on this fast path.
+     */
+    std::uint8_t *hostSpan(Addr pa, std::uint64_t len);
+    const std::uint8_t *hostSpan(Addr pa, std::uint64_t len) const;
+
+  private:
+    std::uint8_t *chunkFor(Addr pa);
+    const std::uint8_t *chunkForConst(Addr pa) const;
+
+    std::uint64_t capacity;
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
+        chunks;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_MEM_PHYS_MEM_HH

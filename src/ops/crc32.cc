@@ -1,0 +1,71 @@
+#include "ops/crc32.hh"
+
+#include <array>
+
+namespace dsasim
+{
+
+namespace
+{
+
+/** Reflected CRC-32C table for polynomial 0x1EDC6F41. */
+constexpr std::array<std::uint32_t, 256>
+makeCrc32cTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    constexpr std::uint32_t poly = 0x82f63b78u; // reflected 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto crc32cTable = makeCrc32cTable();
+
+/** MSB-first CRC-16 table for the T10-DIF polynomial 0x8BB7. */
+constexpr std::array<std::uint16_t, 256>
+makeCrc16Table()
+{
+    std::array<std::uint16_t, 256> table{};
+    constexpr std::uint16_t poly = 0x8bb7;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = static_cast<std::uint16_t>(
+                (crc << 1) ^ ((crc & 0x8000) ? poly : 0));
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto crc16Table = makeCrc16Table();
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ crc32cTable[(crc ^ p[i]) & 0xff];
+    return crc;
+}
+
+std::uint16_t
+crc16T10(const void *data, std::size_t len, std::uint16_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint16_t crc = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc = static_cast<std::uint16_t>(
+            (crc << 8) ^ crc16Table[((crc >> 8) ^ p[i]) & 0xff]);
+    }
+    return crc;
+}
+
+} // namespace dsasim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CRC-32C (Castagnoli) — the checksum DSA's CRC Generation operation
+ * and ISA-L's crc32_iscsi compute. Table-driven, byte-at-a-time;
+ * correctness is what matters here, the simulated cost model supplies
+ * the timing.
+ */
+
+#ifndef DSASIM_OPS_CRC32_HH
+#define DSASIM_OPS_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsasim
+{
+
+/**
+ * Incremental CRC-32C over @p len bytes.
+ *
+ * @param seed running CRC state; pass crc32cInit for a fresh
+ *        computation and chain the return value for continuations.
+ *        The DSA descriptor's "CRC seed" field maps directly here.
+ */
+std::uint32_t crc32c(const void *data, std::size_t len,
+                     std::uint32_t seed);
+
+constexpr std::uint32_t crc32cInit = 0xffffffffu;
+
+/** Finalize a chained crc32c state (the standard final inversion). */
+constexpr std::uint32_t
+crc32cFinish(std::uint32_t state)
+{
+    return state ^ 0xffffffffu;
+}
+
+/** One-shot convenience: full CRC-32C of a buffer. */
+inline std::uint32_t
+crc32cFull(const void *data, std::size_t len)
+{
+    return crc32cFinish(crc32c(data, len, crc32cInit));
+}
+
+/**
+ * CRC-16 T10-DIF (poly 0x8BB7, MSB-first, zero init) — the guard tag
+ * of the Data Integrity Field operations.
+ */
+std::uint16_t crc16T10(const void *data, std::size_t len,
+                       std::uint16_t seed = 0);
+
+} // namespace dsasim
+
+#endif // DSASIM_OPS_CRC32_HH

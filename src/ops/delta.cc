@@ -1,0 +1,58 @@
+#include "ops/delta.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+DeltaResult
+deltaCreate(const std::uint8_t *original, const std::uint8_t *modified,
+            std::size_t len, std::size_t max_record_bytes)
+{
+    panic_if(len % deltaWordBytes != 0,
+             "delta input length %zu not a multiple of 8", len);
+    panic_if(len > deltaMaxInputBytes,
+             "delta input length %zu exceeds the 16-bit offset reach",
+             len);
+
+    DeltaResult res;
+    const std::size_t words = len / deltaWordBytes;
+    for (std::size_t w = 0; w < words; ++w) {
+        const std::uint8_t *a = original + w * deltaWordBytes;
+        const std::uint8_t *b = modified + w * deltaWordBytes;
+        if (std::memcmp(a, b, deltaWordBytes) == 0)
+            continue;
+        ++res.mismatchedWords;
+        if (res.record.size() + deltaEntryBytes > max_record_bytes) {
+            res.fits = false;
+            continue; // keep counting mismatches, emit nothing more
+        }
+        std::uint16_t off = static_cast<std::uint16_t>(w);
+        res.record.push_back(static_cast<std::uint8_t>(off & 0xff));
+        res.record.push_back(static_cast<std::uint8_t>(off >> 8));
+        res.record.insert(res.record.end(), b, b + deltaWordBytes);
+    }
+    return res;
+}
+
+bool
+deltaApply(std::uint8_t *buffer, std::size_t len,
+           const std::uint8_t *record, std::size_t record_len)
+{
+    if (record_len % deltaEntryBytes != 0)
+        return false;
+    for (std::size_t i = 0; i < record_len; i += deltaEntryBytes) {
+        std::uint16_t off = static_cast<std::uint16_t>(
+            record[i] | (record[i + 1] << 8));
+        std::size_t byte_off =
+            static_cast<std::size_t>(off) * deltaWordBytes;
+        if (byte_off + deltaWordBytes > len)
+            return false;
+        std::memcpy(buffer + byte_off, record + i + 2, deltaWordBytes);
+    }
+    return true;
+}
+
+} // namespace dsasim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Delta records, following the DSA architecture specification's
+ * format: the two inputs are compared in 8-byte words; each
+ * mismatching word emits a 10-byte record entry of a 2-byte word
+ * offset followed by the 8-byte data from the second ("modified")
+ * input. Applying a delta record to a copy of the original
+ * reconstructs the modified buffer.
+ */
+
+#ifndef DSASIM_OPS_DELTA_HH
+#define DSASIM_OPS_DELTA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsasim
+{
+
+constexpr std::size_t deltaEntryBytes = 10;
+constexpr std::size_t deltaWordBytes = 8;
+
+/** Largest input the 16-bit word offset can describe. */
+constexpr std::size_t deltaMaxInputBytes = (1ull << 16) * deltaWordBytes;
+
+struct DeltaResult
+{
+    /** Serialized record entries (multiple of deltaEntryBytes). */
+    std::vector<std::uint8_t> record;
+    /** False if the record would exceed @p max_record_bytes. */
+    bool fits = true;
+    /** Number of mismatching 8-byte words found (even if !fits). */
+    std::uint64_t mismatchedWords = 0;
+};
+
+/**
+ * Create a delta record describing how to turn @p original into
+ * @p modified. @p len must be a multiple of 8 and at most
+ * deltaMaxInputBytes.
+ *
+ * @param max_record_bytes mirrors the descriptor's maximum delta
+ *        record size field; generation stops early when exceeded.
+ */
+DeltaResult deltaCreate(const std::uint8_t *original,
+                        const std::uint8_t *modified,
+                        std::size_t len,
+                        std::size_t max_record_bytes);
+
+/**
+ * Apply @p record (of @p record_len bytes) onto @p buffer in place.
+ * Returns false if the record is malformed (bad length or an offset
+ * beyond @p len).
+ */
+bool deltaApply(std::uint8_t *buffer, std::size_t len,
+                const std::uint8_t *record, std::size_t record_len);
+
+} // namespace dsasim
+
+#endif // DSASIM_OPS_DELTA_HH

@@ -1,0 +1,127 @@
+#include "ops/dif.hh"
+
+#include <cstring>
+
+#include "ops/crc32.hh"
+
+namespace dsasim
+{
+
+bool
+difBlockSizeValid(std::size_t block_bytes)
+{
+    return block_bytes == 512 || block_bytes == 520 ||
+           block_bytes == 4096 || block_bytes == 4104;
+}
+
+DifTuple
+difCompute(const std::uint8_t *block, std::size_t block_bytes,
+           std::uint16_t app_tag, std::uint32_t ref_tag)
+{
+    DifTuple t;
+    t.guard = crc16T10(block, block_bytes);
+    t.appTag = app_tag;
+    t.refTag = ref_tag;
+    return t;
+}
+
+void
+difStore(const DifTuple &t, std::uint8_t *out)
+{
+    out[0] = static_cast<std::uint8_t>(t.guard >> 8);
+    out[1] = static_cast<std::uint8_t>(t.guard & 0xff);
+    out[2] = static_cast<std::uint8_t>(t.appTag >> 8);
+    out[3] = static_cast<std::uint8_t>(t.appTag & 0xff);
+    out[4] = static_cast<std::uint8_t>(t.refTag >> 24);
+    out[5] = static_cast<std::uint8_t>(t.refTag >> 16);
+    out[6] = static_cast<std::uint8_t>(t.refTag >> 8);
+    out[7] = static_cast<std::uint8_t>(t.refTag & 0xff);
+}
+
+DifTuple
+difLoad(const std::uint8_t *in)
+{
+    DifTuple t;
+    t.guard = static_cast<std::uint16_t>((in[0] << 8) | in[1]);
+    t.appTag = static_cast<std::uint16_t>((in[2] << 8) | in[3]);
+    t.refTag = (static_cast<std::uint32_t>(in[4]) << 24) |
+               (static_cast<std::uint32_t>(in[5]) << 16) |
+               (static_cast<std::uint32_t>(in[6]) << 8) |
+               static_cast<std::uint32_t>(in[7]);
+    return t;
+}
+
+void
+difInsert(const std::uint8_t *src, std::uint8_t *dst,
+          std::size_t block_bytes, std::size_t nblocks,
+          std::uint16_t app_tag, std::uint32_t ref_tag_start)
+{
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const std::uint8_t *in = src + b * block_bytes;
+        std::uint8_t *out = dst + b * (block_bytes + difTupleBytes);
+        std::memcpy(out, in, block_bytes);
+        DifTuple t = difCompute(in, block_bytes, app_tag,
+                                ref_tag_start +
+                                    static_cast<std::uint32_t>(b));
+        difStore(t, out + block_bytes);
+    }
+}
+
+DifCheckResult
+difCheck(const std::uint8_t *src, std::size_t block_bytes,
+         std::size_t nblocks, std::uint16_t app_tag,
+         std::uint32_t ref_tag_start)
+{
+    DifCheckResult res;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const std::uint8_t *in = src + b * (block_bytes + difTupleBytes);
+        DifTuple stored = difLoad(in + block_bytes);
+        DifTuple expect = difCompute(
+            in, block_bytes, app_tag,
+            ref_tag_start + static_cast<std::uint32_t>(b));
+        if (stored.guard != expect.guard ||
+            stored.appTag != expect.appTag ||
+            stored.refTag != expect.refTag) {
+            res.ok = false;
+            res.failedBlock = b;
+            return res;
+        }
+    }
+    return res;
+}
+
+void
+difStrip(const std::uint8_t *src, std::uint8_t *dst,
+         std::size_t block_bytes, std::size_t nblocks)
+{
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        std::memcpy(dst + b * block_bytes,
+                    src + b * (block_bytes + difTupleBytes),
+                    block_bytes);
+    }
+}
+
+DifCheckResult
+difUpdate(const std::uint8_t *src, std::uint8_t *dst,
+          std::size_t block_bytes, std::size_t nblocks,
+          std::uint16_t old_app_tag, std::uint32_t old_ref_tag_start,
+          std::uint16_t new_app_tag, std::uint32_t new_ref_tag_start)
+{
+    DifCheckResult res =
+        difCheck(src, block_bytes, nblocks, old_app_tag,
+                 old_ref_tag_start);
+    if (!res.ok)
+        return res;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const std::uint8_t *in = src + b * (block_bytes + difTupleBytes);
+        std::uint8_t *out = dst + b * (block_bytes + difTupleBytes);
+        std::memcpy(out, in, block_bytes);
+        DifTuple t = difCompute(
+            in, block_bytes, new_app_tag,
+            new_ref_tag_start + static_cast<std::uint32_t>(b));
+        difStore(t, out + block_bytes);
+    }
+    return res;
+}
+
+} // namespace dsasim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * T10 Data Integrity Field operations, as supported by DSA for
+ * 512/520/4096/4104-byte blocks: each protected block carries an
+ * 8-byte DIF tuple of {guard CRC16, application tag, reference tag}.
+ *
+ *  - insert: source blocks -> destination blocks + DIF
+ *  - check:  verify DIF on source blocks (no data movement)
+ *  - strip:  source blocks + DIF -> destination blocks
+ *  - update: source blocks + DIF -> destination blocks + new DIF
+ */
+
+#ifndef DSASIM_OPS_DIF_HH
+#define DSASIM_OPS_DIF_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsasim
+{
+
+constexpr std::size_t difTupleBytes = 8;
+
+/** Block sizes DSA accepts for DIF operations. */
+bool difBlockSizeValid(std::size_t block_bytes);
+
+struct DifTuple
+{
+    std::uint16_t guard = 0;  ///< CRC16-T10 of the block data
+    std::uint16_t appTag = 0;
+    std::uint32_t refTag = 0; ///< typically the starting LBA, +1/block
+};
+
+/** Compute the DIF tuple for one block. */
+DifTuple difCompute(const std::uint8_t *block, std::size_t block_bytes,
+                    std::uint16_t app_tag, std::uint32_t ref_tag);
+
+/** Serialize / deserialize a tuple (big-endian, per T10 convention). */
+void difStore(const DifTuple &t, std::uint8_t *out);
+DifTuple difLoad(const std::uint8_t *in);
+
+struct DifCheckResult
+{
+    bool ok = true;
+    std::size_t failedBlock = 0; ///< first failing block index
+};
+
+/**
+ * Insert DIF: @p src holds @p nblocks of @p block_bytes each;
+ * @p dst receives nblocks * (block_bytes + 8) bytes.
+ */
+void difInsert(const std::uint8_t *src, std::uint8_t *dst,
+               std::size_t block_bytes, std::size_t nblocks,
+               std::uint16_t app_tag, std::uint32_t ref_tag_start);
+
+/** Check DIF over protected data (block + tuple per block). */
+DifCheckResult difCheck(const std::uint8_t *src,
+                        std::size_t block_bytes, std::size_t nblocks,
+                        std::uint16_t app_tag,
+                        std::uint32_t ref_tag_start);
+
+/** Strip DIF: protected source -> plain destination blocks. */
+void difStrip(const std::uint8_t *src, std::uint8_t *dst,
+              std::size_t block_bytes, std::size_t nblocks);
+
+/**
+ * Update DIF: verify the source tuples, then re-emit the data with
+ * new app/ref tags. Returns the check result for the source.
+ */
+DifCheckResult difUpdate(const std::uint8_t *src, std::uint8_t *dst,
+                         std::size_t block_bytes, std::size_t nblocks,
+                         std::uint16_t old_app_tag,
+                         std::uint32_t old_ref_tag_start,
+                         std::uint16_t new_app_tag,
+                         std::uint32_t new_ref_tag_start);
+
+} // namespace dsasim
+
+#endif // DSASIM_OPS_DIF_HH

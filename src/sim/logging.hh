@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 convention:
+ *
+ *  - panic(): an internal simulator bug; something that must never
+ *    happen regardless of user input. Calls std::abort().
+ *  - fatal(): a user error (bad configuration, invalid arguments);
+ *    the simulation cannot continue. Calls std::exit(1).
+ *  - warn(): suspicious but survivable conditions.
+ *  - inform(): plain status output.
+ */
+
+#ifndef DSASIM_SIM_LOGGING_HH
+#define DSASIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dsasim
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Suppress warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace dsasim
+
+#define panic(...) \
+    ::dsasim::panicImpl(__FILE__, __LINE__, ::dsasim::strfmt(__VA_ARGS__))
+#define fatal(...) \
+    ::dsasim::fatalImpl(__FILE__, __LINE__, ::dsasim::strfmt(__VA_ARGS__))
+#define warn(...) ::dsasim::warnImpl(::dsasim::strfmt(__VA_ARGS__))
+#define inform(...) ::dsasim::informImpl(::dsasim::strfmt(__VA_ARGS__))
+
+/** panic() unless the invariant @p cond holds. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+/** fatal() unless the user-supplied condition @p cond holds. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // DSASIM_SIM_LOGGING_HH

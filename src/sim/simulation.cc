@@ -1,0 +1,48 @@
+#include "sim/simulation.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+void
+Simulation::scheduleAt(Tick when, Callback fn)
+{
+    panic_if(when < currentTick,
+             "scheduling event in the past (when=%llu now=%llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(currentTick));
+    events.push(Event{when, nextSeq++, std::move(fn)});
+}
+
+Tick
+Simulation::run()
+{
+    while (!events.empty()) {
+        // priority_queue::top() is const; the callback must be moved
+        // out before pop, so copy the cheap fields and move the fn.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        currentTick = ev.when;
+        ++executedCount;
+        ev.fn();
+    }
+    return currentTick;
+}
+
+Tick
+Simulation::runUntil(Tick until)
+{
+    while (!events.empty() && events.top().when <= until) {
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        currentTick = ev.when;
+        ++executedCount;
+        ev.fn();
+    }
+    if (currentTick < until)
+        currentTick = until;
+    return currentTick;
+}
+
+} // namespace dsasim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A Simulation owns the virtual clock and the event queue. All model
+ * components (cores, DSA devices, memory links) schedule callbacks or
+ * suspend C++20 coroutines on it. Events scheduled for the same tick
+ * execute in FIFO order, which makes the simulation fully
+ * deterministic.
+ */
+
+#ifndef DSASIM_SIM_SIMULATION_HH
+#define DSASIM_SIM_SIMULATION_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dsasim
+{
+
+class Simulation
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulation() = default;
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void scheduleAt(Tick when, Callback fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay_ticks, Callback fn)
+    {
+        scheduleAt(currentTick + delay_ticks, std::move(fn));
+    }
+
+    /** Resume a suspended coroutine at absolute time @p when. */
+    void
+    resumeAt(Tick when, std::coroutine_handle<> h)
+    {
+        scheduleAt(when, [h] { h.resume(); });
+    }
+
+    /** Run until the event queue drains. Returns the final time. */
+    Tick run();
+
+    /**
+     * Run all events with timestamp <= @p until, then set the clock
+     * to @p until. Events beyond the horizon stay queued.
+     */
+    Tick runUntil(Tick until);
+
+    /** Number of events executed so far (for tests/telemetry). */
+    std::uint64_t eventsExecuted() const { return executedCount; }
+
+    /** True if no events are pending. */
+    bool idle() const { return events.empty(); }
+
+    /**
+     * Awaitable: suspend the current coroutine for @p delay ticks.
+     * Usage: `co_await sim.delay(fromNs(100));`
+     */
+    auto
+    delay(Tick delay_ticks)
+    {
+        return DelayAwaiter{*this, currentTick + delay_ticks};
+    }
+
+    /** Awaitable: suspend the current coroutine until absolute @p when. */
+    auto
+    delayUntil(Tick when)
+    {
+        return DelayAwaiter{*this, when};
+    }
+
+  private:
+    struct DelayAwaiter
+    {
+        Simulation &sim;
+        Tick when;
+
+        bool await_ready() const { return when <= sim.now(); }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sim.resumeAt(when, h);
+        }
+        void await_resume() const {}
+    };
+
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct EventOrder
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, EventOrder> events;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executedCount = 0;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_SIM_SIMULATION_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Measurement helpers: scalar counters, sample histograms with exact
+ * percentiles, and time series for occupancy-style plots.
+ */
+
+#ifndef DSASIM_SIM_STATS_HH
+#define DSASIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dsasim
+{
+
+/**
+ * Collects samples and answers count/mean/min/max/percentile queries.
+ * Samples are stored exactly up to a cap (default 4M — enough for the
+ * paper's p99.999 tail-latency plots), then reservoir-sampled so the
+ * percentile estimates stay unbiased for long runs.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t max_samples = 1 << 22)
+        : cap(max_samples)
+    {}
+
+    void
+    add(double v)
+    {
+        ++n;
+        total += v;
+        minV = std::min(minV, v);
+        maxV = std::max(maxV, v);
+        if (samples.size() < cap) {
+            samples.push_back(v);
+        } else {
+            // Vitter's algorithm R; cheap xorshift is adequate here.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            std::uint64_t idx = seed % n;
+            if (idx < cap)
+                samples[idx] = v;
+        }
+        sorted = false;
+    }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? minV : 0.0; }
+    double max() const { return n ? maxV : 0.0; }
+
+    /** Exact (or reservoir-estimated) percentile, p in [0, 100]. */
+    double
+    percentile(double p)
+    {
+        if (samples.empty())
+            return 0.0;
+        if (!sorted) {
+            std::sort(samples.begin(), samples.end());
+            sorted = true;
+        }
+        if (p <= 0.0)
+            return samples.front();
+        if (p >= 100.0)
+            return samples.back();
+        double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+        std::size_t lo = static_cast<std::size_t>(rank);
+        double frac = rank - static_cast<double>(lo);
+        if (lo + 1 >= samples.size())
+            return samples.back();
+        return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+    }
+
+    /** Fold another histogram's samples into this one. */
+    void
+    merge(const Histogram &other)
+    {
+        double retained = 0.0;
+        for (double v : other.samples) {
+            add(v);
+            retained += v;
+        }
+        // add() only saw the retained samples; restore the exact
+        // count/sum (reservoir-dropped samples included) and bounds.
+        n += other.n - other.samples.size();
+        total += other.total - retained;
+        if (other.n) {
+            minV = std::min(minV, other.minV);
+            maxV = std::max(maxV, other.maxV);
+        }
+    }
+
+    void
+    reset()
+    {
+        samples.clear();
+        sorted = false;
+        n = 0;
+        total = 0.0;
+        minV = std::numeric_limits<double>::infinity();
+        maxV = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::size_t cap;
+    std::vector<double> samples;
+    bool sorted = false;
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double minV = std::numeric_limits<double>::infinity();
+    double maxV = -std::numeric_limits<double>::infinity();
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/**
+ * A (tick, value) series, e.g. per-core LLC occupancy over time for
+ * the Fig. 12 reproduction.
+ */
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        Tick when;
+        double value;
+    };
+
+    void add(Tick when, double value) { points.push_back({when, value}); }
+    const std::vector<Point> &data() const { return points; }
+    std::size_t size() const { return points.size(); }
+    void clear() { points.clear(); }
+
+  private:
+    std::vector<Point> points;
+};
+
+/**
+ * Tracks how an agent's cycles split across activity classes —
+ * used for the UMWAIT cycle accounting (Fig. 11) and the datacenter
+ * tax style breakdowns.
+ */
+class CycleAccount
+{
+  public:
+    void
+    charge(const std::string &bucket, Tick t)
+    {
+        for (auto &e : entries) {
+            if (e.name == bucket) {
+                e.ticks += t;
+                return;
+            }
+        }
+        entries.push_back({bucket, t});
+    }
+
+    Tick
+    bucket(const std::string &name) const
+    {
+        for (const auto &e : entries)
+            if (e.name == name)
+                return e.ticks;
+        return 0;
+    }
+
+    Tick
+    totalTicks() const
+    {
+        Tick t = 0;
+        for (const auto &e : entries)
+            t += e.ticks;
+        return t;
+    }
+
+    double
+    fraction(const std::string &name) const
+    {
+        Tick tot = totalTicks();
+        if (tot == 0)
+            return 0.0;
+        return static_cast<double>(bucket(name)) / static_cast<double>(tot);
+    }
+
+    void clear() { entries.clear(); }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Tick ticks = 0;
+    };
+    std::vector<Entry> entries;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_SIM_STATS_HH

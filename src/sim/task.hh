@@ -1,0 +1,136 @@
+/**
+ * @file
+ * SimTask: an eager, detached coroutine used to model concurrent
+ * activities (cores, processing engines, workload threads).
+ *
+ * A function returning SimTask starts running as soon as it is
+ * called and runs until its first `co_await`. When it finishes, the
+ * coroutine frame self-destructs. Join/completion is signalled
+ * explicitly through sync primitives (Trigger/Latch), which keeps the
+ * ownership story trivial: nothing ever holds a dangling handle.
+ */
+
+#ifndef DSASIM_SIM_TASK_HH
+#define DSASIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+struct SimTask
+{
+    struct promise_type
+    {
+        SimTask get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            // Model code must not throw across a simulated context
+            // switch; an escaped exception is a simulator bug.
+            try {
+                std::rethrow_exception(std::current_exception());
+            } catch (const std::exception &e) {
+                panic("unhandled exception in SimTask: %s", e.what());
+            } catch (...) {
+                panic("unhandled non-std exception in SimTask");
+            }
+        }
+    };
+};
+
+/**
+ * CoTask: an awaitable child coroutine. Unlike SimTask it starts
+ * lazily and resumes its awaiter on completion (symmetric transfer),
+ * so a long-running SimTask loop can factor work into sub-coroutines:
+ *
+ *   CoTask step();
+ *   SimTask loop() { for (;;) co_await step(); }
+ */
+struct CoTask
+{
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        CoTask
+        get_return_object()
+        {
+            return CoTask{
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() const noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            try {
+                std::rethrow_exception(std::current_exception());
+            } catch (const std::exception &e) {
+                panic("unhandled exception in CoTask: %s", e.what());
+            } catch (...) {
+                panic("unhandled non-std exception in CoTask");
+            }
+        }
+    };
+
+    explicit CoTask(std::coroutine_handle<promise_type> handle)
+        : h(handle)
+    {}
+
+    CoTask(CoTask &&other) noexcept : h(other.h) { other.h = nullptr; }
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+    CoTask &operator=(CoTask &&) = delete;
+
+    ~CoTask()
+    {
+        if (h)
+            h.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> awaiter) noexcept
+    {
+        h.promise().continuation = awaiter;
+        return h;
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    std::coroutine_handle<promise_type> h;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_SIM_TASK_HH

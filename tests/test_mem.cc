@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: physical store, page tables,
+ * address spaces, the LLC model (including DDIO partitioning and
+ * occupancy accounting), translation caches and the IOMMU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "mem/cache.hh"
+#include "mem/iommu.hh"
+#include "mem/mem_system.hh"
+#include "mem/page_table.hh"
+#include "mem/phys_mem.hh"
+#include "mem/tlb.hh"
+#include "sim/random.hh"
+
+namespace dsasim
+{
+namespace
+{
+
+MemSystemConfig
+smallConfig()
+{
+    MemSystemConfig cfg;
+    MemNodeConfig local;
+    local.kind = MemKind::DramLocal;
+    local.socket = 0;
+    local.capacityBytes = 1ull << 30;
+    MemNodeConfig remote = local;
+    remote.socket = 1;
+    MemNodeConfig cxl;
+    cxl.kind = MemKind::Cxl;
+    cxl.capacityBytes = 1ull << 30;
+    cfg.nodes = {local, remote, cxl};
+    cfg.llc.sizeBytes = 1 << 20; // 1 MB for fast tests
+    cfg.llc.ways = 8;
+    cfg.llc.ddioWays = 2;
+    return cfg;
+}
+
+TEST(PhysMem, ReadWriteRoundTrip)
+{
+    PhysicalMemory pm(64 << 20);
+    std::vector<std::uint8_t> data(10000);
+    Rng rng(4);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+    pm.write(12345, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    pm.read(12345, back.data(), back.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(PhysMem, UntouchedMemoryReadsZero)
+{
+    PhysicalMemory pm(64 << 20);
+    std::uint8_t b = 0xff;
+    pm.read(1 << 20, &b, 1);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(pm.residentBytes(), 0u);
+}
+
+TEST(PhysMem, CrossChunkAccess)
+{
+    PhysicalMemory pm(64 << 20);
+    // Write 4 KB straddling the 2 MB chunk boundary.
+    std::vector<std::uint8_t> data(4096, 0x7e);
+    Addr pa = PhysicalMemory::chunkSize - 2048;
+    pm.write(pa, data.data(), data.size());
+    std::vector<std::uint8_t> back(4096);
+    pm.read(pa, back.data(), back.size());
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(pm.residentBytes(), 2 * PhysicalMemory::chunkSize);
+}
+
+TEST(PhysMem, FillAndSpan)
+{
+    PhysicalMemory pm(64 << 20);
+    pm.fill(4096, 0x5a, 4096);
+    std::uint8_t *p = pm.hostSpan(4096, 4096);
+    for (int i = 0; i < 4096; ++i)
+        ASSERT_EQ(p[i], 0x5a);
+}
+
+TEST(PageTable, LookupAndTranslate)
+{
+    PageTable pt;
+    pt.map(0x10000, 0xa0000, 0x1000);
+    pt.map(0x11000, 0xb0000, 0x1000);
+    EXPECT_EQ(pt.translateOrDie(0x10123), 0xa0123u);
+    EXPECT_EQ(pt.translateOrDie(0x11fff), 0xb0fffu);
+    EXPECT_FALSE(pt.lookup(0x12000).has_value());
+    EXPECT_FALSE(pt.lookup(0xffff).has_value());
+}
+
+TEST(PageTable, PresentBit)
+{
+    PageTable pt;
+    pt.map(0x10000, 0xa0000, 0x1000);
+    pt.setPresent(0x10800, false);
+    auto m = pt.lookup(0x10400);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_FALSE(m->present);
+    pt.setPresent(0x10000, true);
+    EXPECT_TRUE(pt.lookup(0x10000)->present);
+}
+
+TEST(PageTableDeathTest, OverlapPanics)
+{
+    PageTable pt;
+    pt.map(0x10000, 0xa0000, 0x2000);
+    EXPECT_DEATH(pt.map(0x11000, 0xc0000, 0x1000), "overlapping");
+}
+
+TEST(Tlb, LruEviction)
+{
+    TranslationCache tc(2);
+    tc.insert(1, 0x1000);
+    tc.insert(1, 0x2000);
+    EXPECT_TRUE(tc.lookup(1, 0x1000));
+    tc.insert(1, 0x3000); // evicts 0x2000 (LRU)
+    EXPECT_FALSE(tc.lookup(1, 0x2000));
+    EXPECT_TRUE(tc.lookup(1, 0x1000));
+    EXPECT_TRUE(tc.lookup(1, 0x3000));
+}
+
+TEST(Tlb, PasidsAreDistinct)
+{
+    TranslationCache tc(8);
+    tc.insert(1, 0x1000);
+    EXPECT_TRUE(tc.lookup(1, 0x1000));
+    EXPECT_FALSE(tc.lookup(2, 0x1000));
+}
+
+TEST(Tlb, InvalidateSinglePage)
+{
+    TranslationCache tc(8);
+    tc.insert(1, 0x1000);
+    tc.insert(1, 0x2000);
+    tc.invalidate(1, 0x1000);
+    EXPECT_FALSE(tc.lookup(1, 0x1000));
+    EXPECT_TRUE(tc.lookup(1, 0x2000));
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    auto r1 = c.cpuAccess(0x1000, 1);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_TRUE(r1.allocated);
+    auto r2 = c.cpuAccess(0x1000, 1);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(c.occupancyBytes(1), cacheLineSize);
+}
+
+TEST(Cache, DeviceReadNeverAllocates)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    EXPECT_FALSE(c.deviceRead(0x2000).hit);
+    EXPECT_FALSE(c.deviceRead(0x2000).hit); // still a miss
+    EXPECT_EQ(c.totalOccupancyBytes(), 0u);
+    // But device reads do hit CPU-installed lines.
+    c.cpuAccess(0x2000, 1);
+    EXPECT_TRUE(c.deviceRead(0x2000).hit);
+}
+
+TEST(Cache, DeviceWriteConfinedToDdioWays)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 64 * 1024; // 256 sets x 4 ways
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    // Stream device writes over 4x the DDIO capacity.
+    std::uint64_t ddio = c.ddioCapacityBytes();
+    for (Addr a = 0; a < 4 * ddio; a += cacheLineSize)
+        c.deviceWrite(a, 42, true);
+    // Occupancy can never exceed the DDIO partition.
+    EXPECT_LE(c.occupancyBytes(42), ddio);
+    EXPECT_GT(c.occupancyBytes(42), 0u);
+}
+
+TEST(Cache, DeviceWriteWithoutHintInvalidates)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    c.cpuAccess(0x3000, 1);
+    EXPECT_TRUE(c.probe(0x3000));
+    c.deviceWrite(0x3000, 42, false);
+    EXPECT_FALSE(c.probe(0x3000));
+    EXPECT_EQ(c.occupancyBytes(42), 0u);
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 4096; // 16 sets x 4 ways
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    unsigned sets = c.numSets();
+    // Fill one set's DDIO way with a dirty device line...
+    Addr first = 0;
+    c.deviceWrite(first, 1, true);
+    // ...then force another device write mapping to the same set.
+    Addr conflict = static_cast<Addr>(sets) * cacheLineSize;
+    auto r = c.deviceWrite(conflict, 1, true);
+    EXPECT_TRUE(r.evictedDirty);
+    EXPECT_EQ(r.evictedPa, first);
+}
+
+TEST(Cache, FlushLineReportsDirty)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    c.cpuAccess(0x4000, 1, /*is_write=*/true);
+    EXPECT_TRUE(c.flushLine(0x4000));  // dirty
+    EXPECT_FALSE(c.flushLine(0x4000)); // gone
+    c.cpuAccess(0x5000, 1, /*is_write=*/false);
+    EXPECT_FALSE(c.flushLine(0x5000)); // clean
+}
+
+TEST(Cache, OccupancyFollowsOwner)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    c.cpuAccess(0x6000, 1);
+    EXPECT_EQ(c.occupancyBytes(1), cacheLineSize);
+    c.cpuAccess(0x6000, 2); // same line touched by another core
+    EXPECT_EQ(c.occupancyBytes(1), 0u);
+    EXPECT_EQ(c.occupancyBytes(2), cacheLineSize);
+}
+
+TEST(MemSystem, PaCodec)
+{
+    EXPECT_EQ(MemSystem::paNode(MemSystem::makePa(2, 0x1234)), 2);
+    EXPECT_EQ(MemSystem::paOffset(MemSystem::makePa(2, 0x1234)),
+              0x1234u);
+    EXPECT_NE(MemSystem::makePa(0, 0), 0u); // PA 0 stays invalid
+}
+
+TEST(MemSystem, NodeSelection)
+{
+    Simulation sim;
+    MemSystem ms(sim, smallConfig());
+    int local = ms.nodeIdFor(MemKind::DramLocal, 0);
+    int remote = ms.nodeIdFor(MemKind::DramRemote, 0);
+    int cxl = ms.nodeIdFor(MemKind::Cxl, 0);
+    EXPECT_NE(local, remote);
+    EXPECT_NE(local, cxl);
+    EXPECT_EQ(ms.node(local).config.socket, 0);
+    EXPECT_EQ(ms.node(remote).config.socket, 1);
+    EXPECT_EQ(ms.node(cxl).config.kind, MemKind::Cxl);
+    // From socket 1's view, the roles flip.
+    EXPECT_EQ(ms.nodeIdFor(MemKind::DramLocal, 1), remote);
+    EXPECT_EQ(ms.nodeIdFor(MemKind::DramRemote, 1), local);
+}
+
+TEST(MemSystem, RemoteLatencyIncludesUpi)
+{
+    Simulation sim;
+    auto cfg = smallConfig();
+    MemSystem ms(sim, cfg);
+    int local = ms.nodeIdFor(MemKind::DramLocal, 0);
+    int remote = ms.nodeIdFor(MemKind::DramRemote, 0);
+    EXPECT_EQ(ms.readLatencyOf(remote, 0),
+              ms.readLatencyOf(local, 0) + cfg.upiLatency);
+}
+
+TEST(AddressSpace, AllocReadWrite)
+{
+    Simulation sim;
+    MemSystem ms(sim, smallConfig());
+    AddressSpace &as = ms.createSpace();
+    Addr va = as.alloc(100000);
+    std::vector<std::uint8_t> data(100000);
+    Rng rng(5);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+    as.write(va, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    as.read(va, back.data(), back.size());
+    EXPECT_EQ(back, data);
+    EXPECT_TRUE(as.equal(va, va, data.size()));
+}
+
+TEST(AddressSpace, HugePagesReduceMappingCount)
+{
+    Simulation sim;
+    MemSystem ms(sim, smallConfig());
+    AddressSpace &a4k = ms.createSpace();
+    AddressSpace &a2m = ms.createSpace();
+    a4k.alloc(8 << 20, MemKind::DramLocal, PageSize::Size4K);
+    a2m.alloc(8 << 20, MemKind::DramLocal, PageSize::Size2M);
+    EXPECT_EQ(a4k.pageTable().mappingCount(), 2048u);
+    EXPECT_EQ(a2m.pageTable().mappingCount(), 4u);
+}
+
+TEST(AddressSpace, TiersAreDistinctNodes)
+{
+    Simulation sim;
+    MemSystem ms(sim, smallConfig());
+    AddressSpace &as = ms.createSpace();
+    Addr va_local = as.alloc(4096, MemKind::DramLocal);
+    Addr va_cxl = as.alloc(4096, MemKind::Cxl);
+    EXPECT_NE(MemSystem::paNode(as.translate(va_local)),
+              MemSystem::paNode(as.translate(va_cxl)));
+}
+
+TEST(AddressSpace, GuardPagesBetweenRegions)
+{
+    Simulation sim;
+    MemSystem ms(sim, smallConfig());
+    AddressSpace &as = ms.createSpace();
+    Addr a = as.alloc(4096);
+    Addr b = as.alloc(4096);
+    EXPECT_GE(b, a + 2 * 4096); // hole between the regions
+    EXPECT_FALSE(as.pageTable().lookup(a + 4096).has_value());
+}
+
+
+TEST(MemSystemDeathTest, NodeCapacityExhaustion)
+{
+    Simulation sim;
+    auto cfg = smallConfig();
+    cfg.nodes[0].capacityBytes = 1 << 20; // 1 MB local node
+    MemSystem ms(sim, cfg);
+    AddressSpace &as = ms.createSpace();
+    as.alloc(512 << 10);
+    EXPECT_DEATH(as.alloc(768 << 10), "out of physical memory");
+}
+
+TEST(Cache, FlushRangeDropsEveryLine)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = 4;
+    cfg.ddioWays = 1;
+    CacheModel c(cfg);
+    for (Addr a = 0x1000; a < 0x3000; a += cacheLineSize)
+        c.cpuAccess(a, 1, true);
+    EXPECT_GT(c.occupancyBytes(1), 0u);
+    c.flushRange(0x1000, 0x2000);
+    EXPECT_EQ(c.occupancyBytes(1), 0u);
+    EXPECT_FALSE(c.probe(0x1040));
+}
+
+TEST(Cache, InvalidateAllIsEpochCheap)
+{
+    CacheModel::Config cfg;
+    cfg.sizeBytes = 1 << 20;
+    cfg.ways = 8;
+    cfg.ddioWays = 2;
+    CacheModel c(cfg);
+    for (Addr a = 0; a < (1 << 19); a += cacheLineSize)
+        c.cpuAccess(a, 3, false);
+    EXPECT_GT(c.totalOccupancyBytes(), 0u);
+    c.invalidateAll();
+    EXPECT_EQ(c.totalOccupancyBytes(), 0u);
+    EXPECT_FALSE(c.probe(0));
+    // Lines allocate cleanly again after the epoch bump.
+    auto r = c.cpuAccess(0, 3, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(c.probe(0));
+}
+
+TEST(MemSystem, PageSpanCoversWholePage)
+{
+    Simulation sim;
+    MemSystem ms(sim, smallConfig());
+    AddressSpace &as = ms.createSpace();
+    Addr va = as.alloc(8192);
+    Addr pa = as.translate(va);
+    std::uint8_t *p = ms.pageSpan(pa, 4096);
+    ASSERT_NE(p, nullptr);
+    p[5] = 0xd7;
+    EXPECT_EQ(as.byteAt(va + 5), 0xd7);
+}
+
+TEST(Iommu, HitMissFaultPaths)
+{
+    IommuConfig icfg;
+    Iommu iommu(icfg);
+    PageTable pt;
+    pt.map(0x10000, 0xa0000, 0x1000);
+
+    // First access: page walk.
+    auto r1 = iommu.translate(pt, 1, 0x10100, true);
+    EXPECT_TRUE(r1.ok);
+    EXPECT_FALSE(r1.faulted);
+    EXPECT_EQ(r1.pa, 0xa0100u);
+    EXPECT_EQ(r1.latency, icfg.pageWalkLatency);
+
+    // Second access: IOTLB hit.
+    auto r2 = iommu.translate(pt, 1, 0x10200, true);
+    EXPECT_TRUE(r2.ok);
+    EXPECT_EQ(r2.latency, icfg.iotlbHitLatency);
+
+    // Paged-out page, block-on-fault: resolved by the OS.
+    pt.setPresent(0x10000, false);
+    auto r3 = iommu.translate(pt, 1, 0x10300, true);
+    EXPECT_TRUE(r3.ok);
+    EXPECT_TRUE(r3.faulted);
+    EXPECT_GE(r3.latency, icfg.faultServiceLatency);
+    EXPECT_TRUE(pt.lookup(0x10000)->present);
+
+    // Paged-out page, no block-on-fault: reported, not resolved.
+    pt.setPresent(0x10000, false);
+    auto r4 = iommu.translate(pt, 1, 0x10300, false);
+    EXPECT_FALSE(r4.ok);
+    EXPECT_TRUE(r4.faulted);
+    EXPECT_FALSE(pt.lookup(0x10000)->present);
+
+    // Unmapped VA: unresolvable.
+    auto r5 = iommu.translate(pt, 1, 0x99999, true);
+    EXPECT_FALSE(r5.ok);
+    EXPECT_TRUE(r5.faulted);
+}
+
+TEST(MemSystem, OccupyTracksUpiForRemote)
+{
+    Simulation sim;
+    MemSystem ms(sim, smallConfig());
+    int remote = ms.nodeIdFor(MemKind::DramRemote, 0);
+    std::uint64_t before = ms.upiLink().bytesServed();
+    ms.occupyRead(remote, 0, 4096);
+    EXPECT_EQ(ms.upiLink().bytesServed(), before + 4096);
+    int local = ms.nodeIdFor(MemKind::DramLocal, 0);
+    ms.occupyRead(local, 0, 4096);
+    EXPECT_EQ(ms.upiLink().bytesServed(), before + 4096); // unchanged
+}
+
+} // namespace
+} // namespace dsasim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared test scaffolding: a small SPR-like platform with a reduced
+ * LLC (so per-test construction stays cheap) plus coroutine drivers
+ * for running one-shot operations to completion.
+ */
+
+#ifndef DSASIM_TESTS_UTIL_HH
+#define DSASIM_TESTS_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dml/dml.hh"
+#include "driver/platform.hh"
+#include "sim/random.hh"
+#include "sim/task.hh"
+
+namespace dsasim::test
+{
+
+inline PlatformConfig
+smallSpr(unsigned dsa_devices = 1, int cores = 4)
+{
+    PlatformConfig cfg = PlatformConfig::spr();
+    cfg.numCores = cores;
+    cfg.numDsaDevices = dsa_devices;
+    cfg.mem.llc.sizeBytes = 8 << 20; // keep the directory small
+    cfg.mem.llc.ways = 8;
+    cfg.mem.llc.ddioWays = 2;
+    for (auto &n : cfg.mem.nodes)
+        n.capacityBytes = 2ull << 30;
+    return cfg;
+}
+
+/** A platform + one address space, ready for operations. */
+struct Bench
+{
+    explicit Bench(PlatformConfig config = smallSpr())
+        : cfg(std::move(config)), plat(sim, cfg),
+          as(&plat.mem().createSpace())
+    {}
+
+    /** Fill [va, va+n) with deterministic pseudo-random bytes. */
+    void
+    randomize(Addr va, std::uint64_t n, std::uint64_t seed = 1)
+    {
+        Rng rng(seed);
+        std::vector<std::uint8_t> buf(n);
+        for (auto &b : buf)
+            b = static_cast<std::uint8_t>(rng.next32());
+        as->write(va, buf.data(), n);
+    }
+
+    std::vector<std::uint8_t>
+    bytes(Addr va, std::uint64_t n)
+    {
+        std::vector<std::uint8_t> buf(n);
+        as->read(va, buf.data(), n);
+        return buf;
+    }
+
+    Simulation sim;
+    PlatformConfig cfg;
+    Platform plat;
+    AddressSpace *as;
+};
+
+/** Drive one dml op to completion on core 0. */
+inline SimTask
+driveOp(Bench &b, dml::Executor &ex, WorkDescriptor d,
+        dml::OpResult &out, bool &finished)
+{
+    co_await ex.execute(b.plat.core(0), d, out);
+    finished = true;
+}
+
+/** Drive one op and record the elapsed virtual time. */
+inline SimTask
+driveTimedOp(Bench &b, dml::Executor &ex, WorkDescriptor d,
+             dml::OpResult &out, Tick &elapsed)
+{
+    Tick t0 = b.sim.now();
+    co_await ex.execute(b.plat.core(0), d, out);
+    elapsed = b.sim.now() - t0;
+}
+
+} // namespace dsasim::test
+
+#endif // DSASIM_TESTS_UTIL_HH
