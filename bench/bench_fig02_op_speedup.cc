@@ -152,13 +152,18 @@ main()
         64,       256,      1 << 10, 4 << 10, 16 << 10,
         64 << 10, 256 << 10, 1 << 20, 2 << 20};
 
+    const std::vector<OpSpec> ops = opSpecs();
+    SweepRunner sweep;
+
     // ---- (a) synchronous speedup -----------------------------------
     {
         std::vector<std::string> cols = {"operation"};
         for (auto s : sizes)
             cols.push_back(fmtSize(s));
         Table tbl("Fig 2a: sync speedup over software (x)", cols);
-        for (const auto &op : opSpecs()) {
+        // Each op row owns a private Rig, so rows sweep in parallel.
+        auto rows = sweep.run(ops.size(), [&](std::size_t oi) {
+            const OpSpec &op = ops[oi];
             Rig rig{Rig::Options{}};
             Addr src = 0, dst = 0;
             prepareBuffers(rig, op, src, dst, op.maxSize);
@@ -173,8 +178,10 @@ main()
                 Measure sw = syncSw(rig, d);
                 row.push_back(fmt(sw.meanNs / hw.meanNs));
             }
-            tbl.addRow(row);
-        }
+            return row;
+        });
+        for (auto &row : rows)
+            tbl.addRow(std::move(row));
         tbl.print();
     }
 
@@ -185,7 +192,8 @@ main()
             cols.push_back(fmtSize(s));
         Table tbl("Fig 2b: async (depth 32) speedup over software (x)",
                   cols);
-        for (const auto &op : opSpecs()) {
+        auto rows = sweep.run(ops.size(), [&](std::size_t oi) {
+            const OpSpec &op = ops[oi];
             Rig rig{Rig::Options{}};
             const int ring_n = 16;
             Addr src = 0, dst = 0;
@@ -218,8 +226,10 @@ main()
                 Measure sw = syncSw(rig, ring.front());
                 row.push_back(fmt(hw.gbps / sw.gbps));
             }
-            tbl.addRow(row);
-        }
+            return row;
+        });
+        for (auto &row : rows)
+            tbl.addRow(std::move(row));
         tbl.print();
     }
     return 0;

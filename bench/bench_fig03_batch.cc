@@ -113,6 +113,7 @@ main()
                                               256 << 10, 1 << 20};
     const std::vector<int> batch_sizes = {1, 4, 16, 64, 128};
 
+    SweepRunner sweep;
     for (bool async : {false, true}) {
         std::vector<std::string> cols = {"BS \\ TS"};
         for (auto s : sizes)
@@ -120,37 +121,42 @@ main()
         Table tbl(async ? "Fig 3 (async, depth 32): memcpy GB/s"
                         : "Fig 3 (sync): memcpy GB/s",
                   cols);
-        for (int bs : batch_sizes) {
-            std::vector<std::string> row = {"BS:" +
-                                            std::to_string(bs)};
-            for (auto ts : sizes) {
-                if (static_cast<std::uint64_t>(bs) * ts > (64u << 20)) {
-                    row.push_back("-");
-                    continue;
-                }
-                Rig rig{Rig::Options{}};
-                const std::uint64_t span =
-                    static_cast<std::uint64_t>(ts) * bs * 4;
-                Addr src = rig.as->alloc(span);
-                Addr dst = rig.as->alloc(span);
-                Measure m;
-                if (async) {
-                    int depth = std::max(1, 32 / bs);
-                    int jobs = std::max(
-                        16, itersFor(ts * static_cast<std::uint64_t>(
-                                              bs),
-                                     160));
-                    asyncBatchLoop(rig, src, dst, ts, bs, jobs, depth,
-                                   m);
-                } else {
-                    int iters = itersFor(
-                        ts * static_cast<std::uint64_t>(bs), 60);
-                    syncBatchLoop(rig, src, dst, ts, bs, iters, m);
-                }
-                rig.sim.run();
-                row.push_back(fmt(m.gbps));
+        // Each (BS, TS) cell builds its own Rig; sweep all cells of
+        // the grid concurrently and reassemble rows in order.
+        const std::size_t n = batch_sizes.size() * sizes.size();
+        auto cells = sweep.run(n, [&](std::size_t i) -> std::string {
+            const int bs = batch_sizes[i / sizes.size()];
+            const std::uint64_t ts = sizes[i % sizes.size()];
+            if (static_cast<std::uint64_t>(bs) * ts > (64u << 20))
+                return "-";
+            Rig rig{Rig::Options{}};
+            const std::uint64_t span =
+                static_cast<std::uint64_t>(ts) * bs * 4;
+            Addr src = rig.as->alloc(span);
+            Addr dst = rig.as->alloc(span);
+            Measure m;
+            if (async) {
+                int depth = std::max(1, 32 / bs);
+                int jobs = std::max(
+                    16,
+                    itersFor(ts * static_cast<std::uint64_t>(bs),
+                             160));
+                asyncBatchLoop(rig, src, dst, ts, bs, jobs, depth, m);
+            } else {
+                int iters = itersFor(
+                    ts * static_cast<std::uint64_t>(bs), 60);
+                syncBatchLoop(rig, src, dst, ts, bs, iters, m);
             }
-            tbl.addRow(row);
+            rig.sim.run();
+            return fmt(m.gbps);
+        });
+        for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
+            std::vector<std::string> row = {
+                "BS:" + std::to_string(batch_sizes[b])};
+            for (std::size_t s = 0; s < sizes.size(); ++s)
+                row.push_back(
+                    std::move(cells[b * sizes.size() + s]));
+            tbl.addRow(std::move(row));
         }
         tbl.print();
     }

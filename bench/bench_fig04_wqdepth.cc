@@ -23,9 +23,13 @@ main()
         cols.push_back(fmtSize(s));
     Table tbl("Fig 4: async memcpy GB/s vs WQ size", cols);
 
-    for (unsigned wqs : wq_sizes) {
-        std::vector<std::string> row = {"WQS:" + std::to_string(wqs)};
-        for (auto ts : sizes) {
+    // One Rig per (WQS, TS) cell; sweep the whole grid concurrently.
+    SweepRunner sweep;
+    auto cells = sweep.run(
+        wq_sizes.size() * sizes.size(),
+        [&](std::size_t i) -> std::string {
+            const unsigned wqs = wq_sizes[i / sizes.size()];
+            const std::uint64_t ts = sizes[i % sizes.size()];
             Rig::Options o;
             o.wqSize = wqs;
             Rig rig(o);
@@ -34,9 +38,14 @@ main()
             // (MOVDIR64B occupancy tracking).
             Measure m = asyncHw(rig, ring, /*total=*/0,
                                 /*depth=*/static_cast<int>(wqs));
-            row.push_back(fmt(m.gbps));
-        }
-        tbl.addRow(row);
+            return fmt(m.gbps);
+        });
+    for (std::size_t w = 0; w < wq_sizes.size(); ++w) {
+        std::vector<std::string> row = {
+            "WQS:" + std::to_string(wq_sizes[w])};
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            row.push_back(std::move(cells[w * sizes.size() + s]));
+        tbl.addRow(std::move(row));
     }
     tbl.print();
     return 0;

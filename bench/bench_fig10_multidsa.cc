@@ -88,9 +88,13 @@ main()
         cols.push_back(fmtSize(s));
     Table tbl("Fig 10: aggregate memcpy GB/s vs DSA instances", cols);
 
-    for (unsigned n : device_counts) {
-        std::vector<std::string> row = {std::to_string(n) + " DSA"};
-        for (auto ts : sizes) {
+    // One Rig per (devices, TS) cell; sweep the grid concurrently.
+    SweepRunner sweep;
+    auto cells = sweep.run(
+        device_counts.size() * sizes.size(),
+        [&](std::size_t i) -> std::string {
+            const unsigned n = device_counts[i / sizes.size()];
+            const std::uint64_t ts = sizes[i % sizes.size()];
             Rig::Options o;
             o.devices = n;
             Rig rig(o);
@@ -108,9 +112,14 @@ main()
             std::uint64_t total = 0;
             for (auto b : bytes)
                 total += b;
-            row.push_back(fmt(achievedGBps(total, elapsed), 1));
-        }
-        tbl.addRow(row);
+            return fmt(achievedGBps(total, elapsed), 1);
+        });
+    for (std::size_t d = 0; d < device_counts.size(); ++d) {
+        std::vector<std::string> row = {
+            std::to_string(device_counts[d]) + " DSA"};
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            row.push_back(std::move(cells[d * sizes.size() + s]));
+        tbl.addRow(std::move(row));
     }
     tbl.print();
 

@@ -16,10 +16,13 @@
 #ifndef DSASIM_BENCH_COMMON_HH
 #define DSASIM_BENCH_COMMON_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "dml/dml.hh"
@@ -66,10 +69,10 @@ class Table
     void
     print() const
     {
-        // DSASIM_CSV=1 switches to machine-readable output for
-        // post-processing/plotting.
+        // Any non-empty DSASIM_CSV value other than "0" switches to
+        // machine-readable output for post-processing/plotting.
         if (const char *csv = std::getenv("DSASIM_CSV");
-            csv && csv[0] == '1') {
+            csv && csv[0] != '\0' && std::string_view(csv) != "0") {
             printCsv();
             return;
         }
@@ -127,6 +130,86 @@ fmt(double v, int prec = 2)
     return buf;
 }
 /// @}
+
+/**
+ * Worker count for parallel benchmark sweeps: DSASIM_JOBS if set to a
+ * positive integer, otherwise the hardware concurrency (minimum 1).
+ */
+inline unsigned
+sweepJobs()
+{
+    if (const char *env = std::getenv("DSASIM_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * Runs independent sweep points concurrently on a small thread pool.
+ *
+ * Each point must be self-contained — build its own Rig (Platform +
+ * Simulation), measure, and return a result. Nothing in the simulator
+ * is shared between Rigs, so points are safe to run on separate
+ * threads. Results come back indexed by point, so tables print in the
+ * same deterministic order regardless of the worker count or
+ * scheduling; with jobs=1 the output is identical to a serial loop.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(unsigned jobs = sweepJobs())
+        : jobCount(jobs ? jobs : 1)
+    {}
+
+    unsigned jobs() const { return jobCount; }
+
+    /**
+     * Evaluate @p fn(i) for i in [0, n) and return the results in
+     * index order. @p fn must not touch shared mutable state.
+     */
+    template <typename Fn>
+    auto
+    run(std::size_t n, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        using R = decltype(fn(std::size_t{}));
+        std::vector<R> results(n);
+        if (n == 0)
+            return results;
+        const unsigned workers =
+            static_cast<unsigned>(std::min<std::size_t>(jobCount, n));
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                results[i] = fn(i);
+            return results;
+        }
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                results[i] = fn(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (unsigned w = 1; w < workers; ++w)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &t : pool)
+            t.join();
+        return results;
+    }
+
+  private:
+    unsigned jobCount;
+};
 
 /**
  * A measurement rig: a platform with one or more DSA devices in a

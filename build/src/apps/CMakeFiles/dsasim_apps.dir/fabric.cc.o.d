@@ -209,28 +209,27 @@ src/apps/CMakeFiles/dsasim_apps.dir/fabric.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/mem/types.hh \
- /root/repo/src/sim/simulation.hh /usr/include/c++/12/coroutine \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/sim/simulation.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/limits /root/repo/src/sim/sync.hh \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/logging.hh \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/array \
+ /usr/include/c++/12/coroutine /root/repo/src/sim/callback.hh \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/stats.hh /usr/include/c++/12/limits \
+ /root/repo/src/sim/sync.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/mem/address_space.hh \
  /root/repo/src/mem/page_table.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/mem/mem_system.hh \
  /root/repo/src/mem/cache.hh /root/repo/src/mem/iommu.hh \
- /root/repo/src/mem/phys_mem.hh /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/sim/link.hh \
+ /root/repo/src/mem/phys_mem.hh /root/repo/src/sim/link.hh \
  /root/repo/src/driver/submitter.hh /root/repo/src/dsa/device.hh \
  /root/repo/src/dsa/engine.hh /root/repo/src/dsa/group.hh \
  /root/repo/src/dsa/descriptor.hh /root/repo/src/dsa/opcodes.hh \

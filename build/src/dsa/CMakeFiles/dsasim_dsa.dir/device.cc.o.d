@@ -207,30 +207,28 @@ src/dsa/CMakeFiles/dsasim_dsa.dir/device.cc.o: \
  /usr/include/c++/12/coroutine /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/sim/simulation.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/array \
+ /root/repo/src/sim/callback.hh /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/sim/ticks.hh /root/repo/src/dsa/wq.hh \
+ /root/repo/src/sim/task.hh /root/repo/src/dsa/params.hh \
+ /root/repo/src/mem/mem_system.hh /root/repo/src/mem/cache.hh \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/ticks.hh \
- /root/repo/src/dsa/wq.hh /root/repo/src/sim/task.hh \
- /root/repo/src/dsa/params.hh /usr/include/c++/12/cstddef \
- /root/repo/src/mem/mem_system.hh /root/repo/src/mem/cache.hh \
- /root/repo/src/mem/iommu.hh /root/repo/src/mem/page_table.hh \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/mem/iommu.hh \
+ /root/repo/src/mem/page_table.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/mem/tlb.hh \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/mem/phys_mem.hh \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/sim/link.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h
+ /root/repo/src/sim/link.hh /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h

@@ -221,9 +221,8 @@ src/mem/CMakeFiles/dsasim_mem.dir/mem_system.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/sim/simulation.hh /usr/include/c++/12/coroutine \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/simulation.hh /usr/include/c++/12/array \
+ /usr/include/c++/12/coroutine /root/repo/src/sim/callback.hh \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/mem/address_space.hh

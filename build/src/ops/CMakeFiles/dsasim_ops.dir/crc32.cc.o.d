@@ -45,4 +45,8 @@ src/ops/CMakeFiles/dsasim_ops.dir/crc32.cc.o: /root/repo/src/ops/crc32.cc \
  /usr/include/c++/12/bits/stl_construct.h \
  /usr/include/c++/12/debug/debug.h \
  /usr/include/c++/12/bits/predefined_ops.h \
- /usr/include/c++/12/bits/range_access.h
+ /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/cstring /usr/include/string.h \
+ /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
+ /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
+ /usr/include/strings.h

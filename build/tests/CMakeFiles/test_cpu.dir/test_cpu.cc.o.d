@@ -300,18 +300,17 @@ tests/CMakeFiles/test_cpu.dir/test_cpu.cc.o: /root/repo/tests/test_cpu.cc \
  /root/repo/src/mem/tlb.hh /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/mem/types.hh /root/repo/src/sim/simulation.hh \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/stats.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/sync.hh /root/repo/src/sim/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/mem/address_space.hh \
- /root/repo/src/mem/page_table.hh /root/repo/src/mem/mem_system.hh \
- /root/repo/src/mem/cache.hh /root/repo/src/mem/iommu.hh \
- /root/repo/src/mem/phys_mem.hh /usr/include/c++/12/cstring \
+ /usr/include/c++/12/coroutine /root/repo/src/sim/callback.hh \
+ /usr/include/c++/12/cstring /root/repo/src/sim/stats.hh \
+ /root/repo/src/sim/sync.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/mem/address_space.hh /root/repo/src/mem/page_table.hh \
+ /root/repo/src/mem/mem_system.hh /root/repo/src/mem/cache.hh \
+ /root/repo/src/mem/iommu.hh /root/repo/src/mem/phys_mem.hh \
  /root/repo/src/sim/link.hh /root/repo/src/driver/submitter.hh \
  /root/repo/src/dsa/device.hh /root/repo/src/dsa/engine.hh \
  /root/repo/src/dsa/group.hh /root/repo/src/dsa/descriptor.hh \

@@ -300,17 +300,16 @@ tests/CMakeFiles/test_dsa_features.dir/test_dsa_features.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/logging.hh \
  /usr/include/c++/12/cstdarg /root/repo/src/sim/simulation.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/callback.hh /usr/include/c++/12/cstring \
  /root/repo/src/sim/ticks.hh /root/repo/src/mem/address_space.hh \
  /root/repo/src/mem/page_table.hh /root/repo/src/mem/mem_system.hh \
  /root/repo/src/mem/cache.hh /root/repo/src/mem/iommu.hh \
  /root/repo/src/mem/tlb.hh /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/mem/phys_mem.hh /usr/include/c++/12/cstring \
- /root/repo/src/sim/link.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/mem/phys_mem.hh /root/repo/src/sim/link.hh \
  /root/repo/src/sim/task.hh /root/repo/src/cpu/core.hh \
  /root/repo/src/cpu/params.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/cpu/kernels.hh /root/repo/src/dsa/device.hh \

@@ -305,6 +305,4 @@ tests/CMakeFiles/test_mem.dir/test_mem.cc.o: /root/repo/tests/test_mem.cc \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/sim/simulation.hh /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.hh
+ /root/repo/src/sim/callback.hh /root/repo/src/sim/random.hh

@@ -299,8 +299,8 @@ tests/CMakeFiles/test_sim.dir/test_sim.cc.o: /root/repo/tests/test_sim.cc \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/sim/simulation.hh /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/ticks.hh \
- /root/repo/src/sim/random.hh /root/repo/src/sim/stats.hh \
- /root/repo/src/sim/sync.hh /root/repo/src/sim/task.hh
+ /root/repo/src/sim/callback.hh /usr/include/c++/12/cstring \
+ /root/repo/src/sim/ticks.hh /root/repo/src/sim/random.hh \
+ /root/repo/src/sim/stats.hh /root/repo/src/sim/sync.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/task.hh

@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
 include("/root/repo/build/tests/test_ops[1]_include.cmake")
 include("/root/repo/build/tests/test_mem[1]_include.cmake")
 include("/root/repo/build/tests/test_cpu[1]_include.cmake")

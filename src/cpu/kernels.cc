@@ -32,7 +32,7 @@ constexpr std::size_t scratchChunk = 256 * 1024;
 SwKernels::Level
 SwKernels::levelOf(const Core &core, int node_id) const
 {
-    const MemNode &n = const_cast<MemSystem &>(mem).node(node_id);
+    const MemNode &n = mem.node(node_id);
     if (n.config.kind == MemKind::Cxl)
         return Level::Cxl;
     if (n.config.socket != core.agent().socket)

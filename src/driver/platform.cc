@@ -170,9 +170,7 @@ Platform::dumpStats(std::FILE *out) const
                          1e6);
     }
     for (std::size_t i = 0; i < memSys->nodeCount(); ++i) {
-        const MemNode &n =
-            const_cast<MemSystem &>(*memSys).node(
-                static_cast<int>(i));
+        const MemNode &n = memSys->node(static_cast<int>(i));
         std::fprintf(out,
                      "node%-3zu (%s) rd %10.2f MB (%4.1f%% busy)  "
                      "wr %10.2f MB (%4.1f%% busy)\n",

@@ -1,6 +1,8 @@
 #include "ops/crc32.hh"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace dsasim
 {
@@ -8,28 +10,53 @@ namespace dsasim
 namespace
 {
 
-/** Reflected CRC-32C table for polynomial 0x1EDC6F41. */
-constexpr std::array<std::uint32_t, 256>
-makeCrc32cTable()
+/**
+ * Slice-by-8 tables for reflected CRC-32C (polynomial 0x1EDC6F41).
+ * t[0] is the classic byte-at-a-time table; t[k][b] is the CRC
+ * contribution of byte b advanced through k additional zero bytes,
+ * so eight input bytes can be folded with eight independent lookups
+ * per 64-bit load.
+ */
+struct Crc32cTables
 {
-    std::array<std::uint32_t, 256> table{};
+    std::uint32_t t[8][256];
+};
+
+constexpr Crc32cTables
+makeCrc32cTables()
+{
+    Crc32cTables T{};
     constexpr std::uint32_t poly = 0x82f63b78u; // reflected 0x1EDC6F41
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t crc = i;
         for (int bit = 0; bit < 8; ++bit)
             crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
-        table[i] = crc;
+        T.t[0][i] = crc;
     }
-    return table;
+    for (int k = 1; k < 8; ++k)
+        for (std::uint32_t i = 0; i < 256; ++i)
+            T.t[k][i] =
+                (T.t[k - 1][i] >> 8) ^ T.t[0][T.t[k - 1][i] & 0xff];
+    return T;
 }
 
-constexpr auto crc32cTable = makeCrc32cTable();
+constexpr auto crc32cT = makeCrc32cTables();
 
-/** MSB-first CRC-16 table for the T10-DIF polynomial 0x8BB7. */
-constexpr std::array<std::uint16_t, 256>
-makeCrc16Table()
+/**
+ * Slice-by-8 tables for the MSB-first T10-DIF CRC-16 (poly 0x8BB7).
+ * u[k][b] = the CRC state of byte b advanced through k+1 byte shifts;
+ * table linearity over GF(2) lets the running CRC fold into the first
+ * two byte lookups.
+ */
+struct Crc16Tables
 {
-    std::array<std::uint16_t, 256> table{};
+    std::uint16_t u[8][256];
+};
+
+constexpr Crc16Tables
+makeCrc16Tables()
+{
+    Crc16Tables U{};
     constexpr std::uint16_t poly = 0x8bb7;
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
@@ -37,12 +64,17 @@ makeCrc16Table()
             crc = static_cast<std::uint16_t>(
                 (crc << 1) ^ ((crc & 0x8000) ? poly : 0));
         }
-        table[i] = crc;
+        U.u[0][i] = crc;
     }
-    return table;
+    for (int k = 1; k < 8; ++k)
+        for (std::uint32_t i = 0; i < 256; ++i)
+            U.u[k][i] = static_cast<std::uint16_t>(
+                (U.u[k - 1][i] << 8) ^
+                U.u[0][(U.u[k - 1][i] >> 8) & 0xff]);
+    return U;
 }
 
-constexpr auto crc16Table = makeCrc16Table();
+constexpr auto crc16T = makeCrc16Tables();
 
 } // namespace
 
@@ -51,8 +83,22 @@ crc32c(const void *data, std::size_t len, std::uint32_t seed)
 {
     const auto *p = static_cast<const std::uint8_t *>(data);
     std::uint32_t crc = seed;
-    for (std::size_t i = 0; i < len; ++i)
-        crc = (crc >> 8) ^ crc32cTable[(crc ^ p[i]) & 0xff];
+    const auto &t = crc32cT.t;
+    if constexpr (std::endian::native == std::endian::little) {
+        while (len >= 8) {
+            std::uint64_t w;
+            std::memcpy(&w, p, 8);
+            w ^= crc;
+            crc = t[7][w & 0xff] ^ t[6][(w >> 8) & 0xff] ^
+                  t[5][(w >> 16) & 0xff] ^ t[4][(w >> 24) & 0xff] ^
+                  t[3][(w >> 32) & 0xff] ^ t[2][(w >> 40) & 0xff] ^
+                  t[1][(w >> 48) & 0xff] ^ t[0][(w >> 56) & 0xff];
+            p += 8;
+            len -= 8;
+        }
+    }
+    while (len--)
+        crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xff];
     return crc;
 }
 
@@ -61,9 +107,48 @@ crc16T10(const void *data, std::size_t len, std::uint16_t seed)
 {
     const auto *p = static_cast<const std::uint8_t *>(data);
     std::uint16_t crc = seed;
-    for (std::size_t i = 0; i < len; ++i) {
+    const auto &u = crc16T.u;
+    while (len >= 8) {
         crc = static_cast<std::uint16_t>(
-            (crc << 8) ^ crc16Table[((crc >> 8) ^ p[i]) & 0xff]);
+            u[7][p[0] ^ (crc >> 8)] ^ u[6][p[1] ^ (crc & 0xff)] ^
+            u[5][p[2]] ^ u[4][p[3]] ^ u[3][p[4]] ^ u[2][p[5]] ^
+            u[1][p[6]] ^ u[0][p[7]]);
+        p += 8;
+        len -= 8;
+    }
+    while (len--) {
+        crc = static_cast<std::uint16_t>(
+            (crc << 8) ^ u[0][((crc >> 8) ^ *p++) & 0xff]);
+    }
+    return crc;
+}
+
+std::uint32_t
+crc32cBitwise(const void *data, std::size_t len, std::uint32_t seed)
+{
+    constexpr std::uint32_t poly = 0x82f63b78u;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t crc = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= p[i];
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+    }
+    return crc;
+}
+
+std::uint16_t
+crc16T10Bitwise(const void *data, std::size_t len, std::uint16_t seed)
+{
+    constexpr std::uint16_t poly = 0x8bb7;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint16_t crc = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc = static_cast<std::uint16_t>(crc ^ (p[i] << 8));
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = static_cast<std::uint16_t>(
+                (crc << 1) ^ ((crc & 0x8000) ? poly : 0));
+        }
     }
     return crc;
 }

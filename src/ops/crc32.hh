@@ -1,9 +1,9 @@
 /**
  * @file
  * CRC-32C (Castagnoli) — the checksum DSA's CRC Generation operation
- * and ISA-L's crc32_iscsi compute. Table-driven, byte-at-a-time;
- * correctness is what matters here, the simulated cost model supplies
- * the timing.
+ * and ISA-L's crc32_iscsi compute. Slice-by-8 table lookup with
+ * word-at-a-time loads; bit-at-a-time reference implementations are
+ * kept for cross-checking in the tests.
  */
 
 #ifndef DSASIM_OPS_CRC32_HH
@@ -47,6 +47,16 @@ crc32cFull(const void *data, std::size_t len)
  */
 std::uint16_t crc16T10(const void *data, std::size_t len,
                        std::uint16_t seed = 0);
+
+/**
+ * Bit-at-a-time reference implementations, straight from the
+ * polynomial definitions. Slow; exist so tests can verify the
+ * slice-by-8 fast paths against an independent formulation.
+ */
+std::uint32_t crc32cBitwise(const void *data, std::size_t len,
+                            std::uint32_t seed);
+std::uint16_t crc16T10Bitwise(const void *data, std::size_t len,
+                              std::uint16_t seed = 0);
 
 } // namespace dsasim
 

@@ -22,17 +22,23 @@ deltaCreate(const std::uint8_t *original, const std::uint8_t *modified,
     for (std::size_t w = 0; w < words; ++w) {
         const std::uint8_t *a = original + w * deltaWordBytes;
         const std::uint8_t *b = modified + w * deltaWordBytes;
-        if (std::memcmp(a, b, deltaWordBytes) == 0)
+        std::uint64_t wa, wb;
+        std::memcpy(&wa, a, deltaWordBytes);
+        std::memcpy(&wb, b, deltaWordBytes);
+        if (wa == wb)
             continue;
         ++res.mismatchedWords;
         if (res.record.size() + deltaEntryBytes > max_record_bytes) {
             res.fits = false;
             continue; // keep counting mismatches, emit nothing more
         }
-        std::uint16_t off = static_cast<std::uint16_t>(w);
-        res.record.push_back(static_cast<std::uint8_t>(off & 0xff));
-        res.record.push_back(static_cast<std::uint8_t>(off >> 8));
-        res.record.insert(res.record.end(), b, b + deltaWordBytes);
+        const std::uint16_t off = static_cast<std::uint16_t>(w);
+        const std::size_t at = res.record.size();
+        res.record.resize(at + deltaEntryBytes);
+        std::uint8_t *e = res.record.data() + at;
+        e[0] = static_cast<std::uint8_t>(off & 0xff);
+        e[1] = static_cast<std::uint8_t>(off >> 8);
+        std::memcpy(e + 2, &wb, deltaWordBytes);
     }
     return res;
 }

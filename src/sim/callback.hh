@@ -1,0 +1,179 @@
+/**
+ * @file
+ * InlineCallback: a move-only, small-buffer-optimized replacement for
+ * std::function<void()> on the simulation hot path.
+ *
+ * Event callbacks in dsasim almost always capture a couple of
+ * pointers (a device, a work queue, a coroutine frame), yet
+ * std::function heap-allocates beyond its tiny implementation-defined
+ * SBO and drags in RTTI it never uses. InlineCallback stores any
+ * callable of up to inlineCapacity bytes directly in the event, so
+ * the common case performs zero allocations; larger captures (e.g., a
+ * full WorkDescriptor in the submit-flight path) fall back to a
+ * single heap cell.
+ */
+
+#ifndef DSASIM_SIM_CALLBACK_HH
+#define DSASIM_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dsasim
+{
+
+class InlineCallback
+{
+  public:
+    /** Captures up to this many bytes are stored without allocating. */
+    static constexpr std::size_t inlineCapacity = 48;
+
+    InlineCallback() = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+                 std::is_invocable_r_v<void, std::remove_cvref_t<F> &>)
+    InlineCallback(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            vt = &inlineVt<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf))
+                void *(new Fn(std::forward<F>(f)));
+            vt = &heapVt<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept : vt(other.vt)
+    {
+        if (vt) {
+            relocateFrom(other);
+            other.vt = nullptr;
+        }
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            vt = other.vt;
+            if (vt) {
+                relocateFrom(other);
+                other.vt = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void
+    operator()()
+    {
+        vt->invoke(buf);
+    }
+
+    explicit operator bool() const { return vt != nullptr; }
+
+    /** Alignment of the inline buffer. 8 rather than max_align_t
+     * keeps sizeof(InlineCallback) at 56 (and the enclosing Event in
+     * 80 bytes); captures are pointers and integers in practice, and
+     * over-aligned ones simply take the heap path. */
+    static constexpr std::size_t inlineAlign = 8;
+
+    /** True if @p Fn would be stored inline (no allocation). */
+    template <typename Fn>
+    static constexpr bool fitsInline =
+        sizeof(Fn) <= inlineCapacity && alignof(Fn) <= inlineAlign &&
+        std::is_nothrow_move_constructible_v<Fn>;
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        /**
+         * Move-construct into @p dst from @p src, destroying src.
+         * nullptr means the payload is trivially relocatable: moving
+         * is a fixed-size memcpy of the buffer and destruction is a
+         * no-op (trivially copyable implies trivially destructible),
+         * so the hot event-queue moves skip the indirect calls
+         * entirely.
+         */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    void
+    relocateFrom(InlineCallback &other) noexcept
+    {
+        if (vt->relocate) {
+            vt->relocate(buf, other.buf);
+        } else {
+            // Copying the whole buffer regardless of payload size
+            // keeps this branch-free; the tail bytes past the payload
+            // are deliberately uninitialized.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+            std::memcpy(buf, other.buf, inlineCapacity);
+#pragma GCC diagnostic pop
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (vt) {
+            if (vt->destroy)
+                vt->destroy(buf);
+            vt = nullptr;
+        }
+    }
+
+    template <typename Fn>
+    static constexpr VTable inlineVt{
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        std::is_trivially_copyable_v<Fn>
+            ? nullptr
+            : +[](void *dst, void *src) noexcept {
+                  Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+                  ::new (dst) Fn(std::move(*s));
+                  s->~Fn();
+              },
+        std::is_trivially_destructible_v<Fn>
+            ? nullptr
+            : +[](void *p) noexcept {
+                  std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+              },
+    };
+
+    template <typename Fn>
+    static constexpr VTable heapVt{
+        [](void *p) {
+            (*static_cast<Fn *>(
+                *std::launder(reinterpret_cast<void **>(p))))();
+        },
+        // Relocating a heap cell is just copying its pointer; the
+        // trivial memcpy path covers it.
+        nullptr,
+        [](void *p) noexcept {
+            delete static_cast<Fn *>(
+                *std::launder(reinterpret_cast<void **>(p)));
+        },
+    };
+
+    const VTable *vt = nullptr;
+    alignas(inlineAlign) std::byte buf[inlineCapacity];
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_SIM_CALLBACK_HH

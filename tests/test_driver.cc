@@ -93,15 +93,15 @@ TEST(Idxd, SwqThresholdLimitsAdmission)
     struct Drv
     {
         static SimTask
-        go(Bench &bb, WorkQueue &q, Addr a, int &retries)
+        go(Bench &bb, WorkQueue &q, Addr a, int &retries,
+           std::array<CompletionRecord, 3> &crs)
         {
             Submitter sub(bb.plat.core(0), bb.plat.dsa(0).params());
             for (int i = 0; i < 3; ++i) {
-                CompletionRecord cr(bb.sim);
                 WorkDescriptor d = dml::Executor::memMove(
                     *bb.as, a + (1 << 20) + i * 4096,
                     a + i * 4096, 4096);
-                d.completion = &cr;
+                d.completion = &crs[i];
                 bool accepted = false;
                 // Submit without yielding to the dispatch event.
                 bb.plat.dsa(0).descriptorsRetried = 0;
@@ -115,7 +115,12 @@ TEST(Idxd, SwqThresholdLimitsAdmission)
         }
     };
     int retries = 0;
-    Drv::go(b, wq, buf, retries);
+    // The records must outlive the run: accepted descriptors write
+    // their completions long after go()'s frame is gone.
+    std::array<CompletionRecord, 3> crs{
+        CompletionRecord(b.sim), CompletionRecord(b.sim),
+        CompletionRecord(b.sim)};
+    Drv::go(b, wq, buf, retries, crs);
     b.sim.run();
     EXPECT_EQ(retries, 1);
     EXPECT_EQ(wq.threshold, 2u);

@@ -398,11 +398,12 @@ TEST(DsaSubmission, SwqRetryWhenFull)
     struct Driver
     {
         static SimTask
-        go(DsaBench &db, Addr s, Addr d, std::uint64_t len, int &rets)
+        go(DsaBench &db, Addr s, Addr d, std::uint64_t len, int &rets,
+           CompletionRecord &cr1, CompletionRecord &cr2,
+           CompletionRecord &cr3)
         {
             Submitter sub(db.plat.core(0), db.plat.dsa(0).params());
             auto &wq = db.plat.dsa(0).wq(0);
-            CompletionRecord cr1(db.sim), cr2(db.sim), cr3(db.sim);
             WorkDescriptor w1 =
                 dml::Executor::memMove(*db.as, d, s, len);
             w1.completion = &cr1;
@@ -424,7 +425,10 @@ TEST(DsaSubmission, SwqRetryWhenFull)
         }
     };
     int retries = -1;
-    Driver::go(b, src, dst, n, retries);
+    // The records must outlive the run: descriptors accepted but not
+    // umwait-ed on write their completions after go()'s frame dies.
+    CompletionRecord cr1(b.sim), cr2(b.sim), cr3(b.sim);
+    Driver::go(b, src, dst, n, retries, cr1, cr2, cr3);
     b.sim.run();
     EXPECT_GE(retries, 1);
     EXPECT_GE(b.plat.dsa(0).descriptorsRetried, 1u);

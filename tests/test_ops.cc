@@ -66,6 +66,80 @@ TEST(Crc16T10, KnownVector)
     EXPECT_NE(crc16T10("123456788", 9), c);
 }
 
+/**
+ * The slice-by-8 fast paths must agree with the bit-at-a-time
+ * reference at every length around the 8-byte word boundary, for any
+ * base-pointer alignment, and when chained mid-word.
+ */
+TEST(CrcSliceBy8, MatchesBitwiseAcrossLengths)
+{
+    Rng rng(11);
+    std::vector<std::uint8_t> data(256);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+    for (std::size_t len : {0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 200}) {
+        EXPECT_EQ(crc32c(data.data(), len, crc32cInit),
+                  crc32cBitwise(data.data(), len, crc32cInit))
+            << "crc32c len=" << len;
+        EXPECT_EQ(crc16T10(data.data(), len),
+                  crc16T10Bitwise(data.data(), len))
+            << "crc16 len=" << len;
+    }
+}
+
+TEST(CrcSliceBy8, MatchesBitwiseUnalignedBase)
+{
+    Rng rng(12);
+    std::vector<std::uint8_t> data(512 + 8);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+    for (std::size_t shift = 0; shift < 8; ++shift) {
+        const std::uint8_t *p = data.data() + shift;
+        EXPECT_EQ(crc32c(p, 509, crc32cInit),
+                  crc32cBitwise(p, 509, crc32cInit))
+            << "crc32c base+" << shift;
+        EXPECT_EQ(crc16T10(p, 509), crc16T10Bitwise(p, 509))
+            << "crc16 base+" << shift;
+    }
+}
+
+TEST(CrcSliceBy8, MatchesBitwiseRandomLengthsAndSeeds)
+{
+    Rng rng(13);
+    std::vector<std::uint8_t> data(4096);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+    for (int i = 0; i < 50; ++i) {
+        std::size_t off = rng.below(64);
+        std::size_t len = rng.below(2048);
+        std::uint32_t seed32 = rng.next32();
+        std::uint16_t seed16 = static_cast<std::uint16_t>(rng.next32());
+        EXPECT_EQ(crc32c(data.data() + off, len, seed32),
+                  crc32cBitwise(data.data() + off, len, seed32));
+        EXPECT_EQ(crc16T10(data.data() + off, len, seed16),
+                  crc16T10Bitwise(data.data() + off, len, seed16));
+    }
+}
+
+TEST(CrcSliceBy8, ChainingSplitsMidWord)
+{
+    Rng rng(14);
+    std::vector<std::uint8_t> data(333);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next32());
+    // Split the buffer at an odd point: continuing from the returned
+    // state must equal the one-shot result for both polynomials.
+    for (std::size_t cut : {1u, 5u, 8u, 13u, 332u}) {
+        std::uint32_t s32 = crc32c(data.data(), cut, crc32cInit);
+        s32 = crc32c(data.data() + cut, data.size() - cut, s32);
+        EXPECT_EQ(s32, crc32cBitwise(data.data(), data.size(),
+                                     crc32cInit));
+        std::uint16_t s16 = crc16T10(data.data(), cut);
+        s16 = crc16T10(data.data() + cut, data.size() - cut, s16);
+        EXPECT_EQ(s16, crc16T10Bitwise(data.data(), data.size()));
+    }
+}
+
 TEST(Delta, RoundTripRandomMutations)
 {
     Rng rng(2);
