@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cbdma_compare.dir/bench_cbdma_compare.cc.o"
+  "CMakeFiles/bench_cbdma_compare.dir/bench_cbdma_compare.cc.o.d"
+  "bench_cbdma_compare"
+  "bench_cbdma_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cbdma_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

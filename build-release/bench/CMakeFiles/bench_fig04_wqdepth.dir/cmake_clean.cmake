@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_wqdepth.dir/bench_fig04_wqdepth.cc.o"
+  "CMakeFiles/bench_fig04_wqdepth.dir/bench_fig04_wqdepth.cc.o.d"
+  "bench_fig04_wqdepth"
+  "bench_fig04_wqdepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_wqdepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_numa_cxl.dir/bench_fig06_numa_cxl.cc.o"
+  "CMakeFiles/bench_fig06_numa_cxl.dir/bench_fig06_numa_cxl.cc.o.d"
+  "bench_fig06_numa_cxl"
+  "bench_fig06_numa_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_numa_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

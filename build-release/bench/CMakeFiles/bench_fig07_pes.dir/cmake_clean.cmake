@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_pes.dir/bench_fig07_pes.cc.o"
+  "CMakeFiles/bench_fig07_pes.dir/bench_fig07_pes.cc.o.d"
+  "bench_fig07_pes"
+  "bench_fig07_pes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_pes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

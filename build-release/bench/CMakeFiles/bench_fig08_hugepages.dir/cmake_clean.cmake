@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_hugepages.dir/bench_fig08_hugepages.cc.o"
+  "CMakeFiles/bench_fig08_hugepages.dir/bench_fig08_hugepages.cc.o.d"
+  "bench_fig08_hugepages"
+  "bench_fig08_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

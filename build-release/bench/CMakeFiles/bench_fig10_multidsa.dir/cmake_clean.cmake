@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multidsa.dir/bench_fig10_multidsa.cc.o"
+  "CMakeFiles/bench_fig10_multidsa.dir/bench_fig10_multidsa.cc.o.d"
+  "bench_fig10_multidsa"
+  "bench_fig10_multidsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multidsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_umwait.dir/bench_fig11_umwait.cc.o"
+  "CMakeFiles/bench_fig11_umwait.dir/bench_fig11_umwait.cc.o.d"
+  "bench_fig11_umwait"
+  "bench_fig11_umwait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_umwait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

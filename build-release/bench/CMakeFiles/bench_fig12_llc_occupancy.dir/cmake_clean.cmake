@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_llc_occupancy.dir/bench_fig12_llc_occupancy.cc.o"
+  "CMakeFiles/bench_fig12_llc_occupancy.dir/bench_fig12_llc_occupancy.cc.o.d"
+  "bench_fig12_llc_occupancy"
+  "bench_fig12_llc_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_llc_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

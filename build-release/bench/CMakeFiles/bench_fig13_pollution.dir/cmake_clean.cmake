@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pollution.dir/bench_fig13_pollution.cc.o"
+  "CMakeFiles/bench_fig13_pollution.dir/bench_fig13_pollution.cc.o.d"
+  "bench_fig13_pollution"
+  "bench_fig13_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ts_bs_balance.dir/bench_fig14_ts_bs_balance.cc.o"
+  "CMakeFiles/bench_fig14_ts_bs_balance.dir/bench_fig14_ts_bs_balance.cc.o.d"
+  "bench_fig14_ts_bs_balance"
+  "bench_fig14_ts_bs_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ts_bs_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_vhost.dir/bench_fig16_vhost.cc.o"
+  "CMakeFiles/bench_fig16_vhost.dir/bench_fig16_vhost.cc.o.d"
+  "bench_fig16_vhost"
+  "bench_fig16_vhost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_vhost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fabric.dir/bench_fig17_fabric.cc.o"
+  "CMakeFiles/bench_fig17_fabric.dir/bench_fig17_fabric.cc.o.d"
+  "bench_fig17_fabric"
+  "bench_fig17_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_bert_allreduce.dir/bench_fig18_bert_allreduce.cc.o"
+  "CMakeFiles/bench_fig18_bert_allreduce.dir/bench_fig18_bert_allreduce.cc.o.d"
+  "bench_fig18_bert_allreduce"
+  "bench_fig18_bert_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_bert_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

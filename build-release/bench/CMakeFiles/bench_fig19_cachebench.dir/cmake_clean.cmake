@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_cachebench.dir/bench_fig19_cachebench.cc.o"
+  "CMakeFiles/bench_fig19_cachebench.dir/bench_fig19_cachebench.cc.o.d"
+  "bench_fig19_cachebench"
+  "bench_fig19_cachebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_cachebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

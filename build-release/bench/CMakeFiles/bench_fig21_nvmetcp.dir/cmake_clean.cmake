@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_nvmetcp.dir/bench_fig21_nvmetcp.cc.o"
+  "CMakeFiles/bench_fig21_nvmetcp.dir/bench_fig21_nvmetcp.cc.o.d"
+  "bench_fig21_nvmetcp"
+  "bench_fig21_nvmetcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_nvmetcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simhost.dir/bench_simhost.cc.o"
+  "CMakeFiles/bench_simhost.dir/bench_simhost.cc.o.d"
+  "bench_simhost"
+  "bench_simhost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simhost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_service.dir/cache_service.cpp.o"
+  "CMakeFiles/cache_service.dir/cache_service.cpp.o.d"
+  "cache_service"
+  "cache_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_checkpoint.dir/delta_checkpoint.cpp.o"
+  "CMakeFiles/delta_checkpoint.dir/delta_checkpoint.cpp.o.d"
+  "delta_checkpoint"
+  "delta_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_target.dir/storage_target.cpp.o"
+  "CMakeFiles/storage_target.dir/storage_target.cpp.o.d"
+  "storage_target"
+  "storage_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

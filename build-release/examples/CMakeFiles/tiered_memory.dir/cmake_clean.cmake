@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_memory.dir/tiered_memory.cpp.o"
+  "CMakeFiles/tiered_memory.dir/tiered_memory.cpp.o.d"
+  "tiered_memory"
+  "tiered_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

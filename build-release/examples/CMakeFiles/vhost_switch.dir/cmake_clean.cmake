@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhost_switch.dir/vhost_switch.cpp.o"
+  "CMakeFiles/vhost_switch.dir/vhost_switch.cpp.o.d"
+  "vhost_switch"
+  "vhost_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhost_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_apps.dir/fabric.cc.o"
+  "CMakeFiles/dsasim_apps.dir/fabric.cc.o.d"
+  "CMakeFiles/dsasim_apps.dir/minicache.cc.o"
+  "CMakeFiles/dsasim_apps.dir/minicache.cc.o.d"
+  "CMakeFiles/dsasim_apps.dir/nvmetcp.cc.o"
+  "CMakeFiles/dsasim_apps.dir/nvmetcp.cc.o.d"
+  "CMakeFiles/dsasim_apps.dir/vhost.cc.o"
+  "CMakeFiles/dsasim_apps.dir/vhost.cc.o.d"
+  "CMakeFiles/dsasim_apps.dir/xmem.cc.o"
+  "CMakeFiles/dsasim_apps.dir/xmem.cc.o.d"
+  "libdsasim_apps.a"
+  "libdsasim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

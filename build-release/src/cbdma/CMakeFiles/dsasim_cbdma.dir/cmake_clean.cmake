@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_cbdma.dir/cbdma.cc.o"
+  "CMakeFiles/dsasim_cbdma.dir/cbdma.cc.o.d"
+  "libdsasim_cbdma.a"
+  "libdsasim_cbdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_cbdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

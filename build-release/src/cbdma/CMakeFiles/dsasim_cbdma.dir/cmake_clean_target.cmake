@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsasim_cbdma.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dsasim_cbdma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/kernels.cc" "src/cpu/CMakeFiles/dsasim_cpu.dir/kernels.cc.o" "gcc" "src/cpu/CMakeFiles/dsasim_cpu.dir/kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/mem/CMakeFiles/dsasim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/ops/CMakeFiles/dsasim_ops.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/sim/CMakeFiles/dsasim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_cpu.dir/kernels.cc.o"
+  "CMakeFiles/dsasim_cpu.dir/kernels.cc.o.d"
+  "libdsasim_cpu.a"
+  "libdsasim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

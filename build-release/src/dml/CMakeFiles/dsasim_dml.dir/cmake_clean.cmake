@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_dml.dir/dml.cc.o"
+  "CMakeFiles/dsasim_dml.dir/dml.cc.o.d"
+  "libdsasim_dml.a"
+  "libdsasim_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsasim_dml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_driver.dir/idxd.cc.o"
+  "CMakeFiles/dsasim_driver.dir/idxd.cc.o.d"
+  "CMakeFiles/dsasim_driver.dir/platform.cc.o"
+  "CMakeFiles/dsasim_driver.dir/platform.cc.o.d"
+  "libdsasim_driver.a"
+  "libdsasim_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsa/device.cc" "src/dsa/CMakeFiles/dsasim_dsa.dir/device.cc.o" "gcc" "src/dsa/CMakeFiles/dsasim_dsa.dir/device.cc.o.d"
+  "/root/repo/src/dsa/engine.cc" "src/dsa/CMakeFiles/dsasim_dsa.dir/engine.cc.o" "gcc" "src/dsa/CMakeFiles/dsasim_dsa.dir/engine.cc.o.d"
+  "/root/repo/src/dsa/group.cc" "src/dsa/CMakeFiles/dsasim_dsa.dir/group.cc.o" "gcc" "src/dsa/CMakeFiles/dsasim_dsa.dir/group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/mem/CMakeFiles/dsasim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/ops/CMakeFiles/dsasim_ops.dir/DependInfo.cmake"
+  "/root/repo/build-release/src/sim/CMakeFiles/dsasim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_dsa.dir/device.cc.o"
+  "CMakeFiles/dsasim_dsa.dir/device.cc.o.d"
+  "CMakeFiles/dsasim_dsa.dir/engine.cc.o"
+  "CMakeFiles/dsasim_dsa.dir/engine.cc.o.d"
+  "CMakeFiles/dsasim_dsa.dir/group.cc.o"
+  "CMakeFiles/dsasim_dsa.dir/group.cc.o.d"
+  "libdsasim_dsa.a"
+  "libdsasim_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

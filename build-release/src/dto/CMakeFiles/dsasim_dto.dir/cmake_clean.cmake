@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_dto.dir/dto.cc.o"
+  "CMakeFiles/dsasim_dto.dir/dto.cc.o.d"
+  "libdsasim_dto.a"
+  "libdsasim_dto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_dto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

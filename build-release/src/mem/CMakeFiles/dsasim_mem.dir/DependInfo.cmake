@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/dsasim_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/dsasim_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/dsasim_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/dsasim_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/mem/CMakeFiles/dsasim_mem.dir/mem_system.cc.o" "gcc" "src/mem/CMakeFiles/dsasim_mem.dir/mem_system.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/dsasim_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/dsasim_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/dsasim_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/dsasim_mem.dir/phys_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-release/src/sim/CMakeFiles/dsasim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_mem.dir/address_space.cc.o"
+  "CMakeFiles/dsasim_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/dsasim_mem.dir/cache.cc.o"
+  "CMakeFiles/dsasim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/dsasim_mem.dir/mem_system.cc.o"
+  "CMakeFiles/dsasim_mem.dir/mem_system.cc.o.d"
+  "CMakeFiles/dsasim_mem.dir/page_table.cc.o"
+  "CMakeFiles/dsasim_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/dsasim_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/dsasim_mem.dir/phys_mem.cc.o.d"
+  "libdsasim_mem.a"
+  "libdsasim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_ops.dir/crc32.cc.o"
+  "CMakeFiles/dsasim_ops.dir/crc32.cc.o.d"
+  "CMakeFiles/dsasim_ops.dir/delta.cc.o"
+  "CMakeFiles/dsasim_ops.dir/delta.cc.o.d"
+  "CMakeFiles/dsasim_ops.dir/dif.cc.o"
+  "CMakeFiles/dsasim_ops.dir/dif.cc.o.d"
+  "libdsasim_ops.a"
+  "libdsasim_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

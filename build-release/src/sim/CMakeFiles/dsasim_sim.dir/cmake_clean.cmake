@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsasim_sim.dir/logging.cc.o"
+  "CMakeFiles/dsasim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/dsasim_sim.dir/simulation.cc.o"
+  "CMakeFiles/dsasim_sim.dir/simulation.cc.o.d"
+  "libdsasim_sim.a"
+  "libdsasim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsasim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

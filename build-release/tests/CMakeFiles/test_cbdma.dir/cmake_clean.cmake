@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbdma.dir/test_cbdma.cc.o"
+  "CMakeFiles/test_cbdma.dir/test_cbdma.cc.o.d"
+  "test_cbdma"
+  "test_cbdma.pdb"
+  "test_cbdma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

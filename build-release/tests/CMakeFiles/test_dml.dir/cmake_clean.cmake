@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dml.dir/test_dml.cc.o"
+  "CMakeFiles/test_dml.dir/test_dml.cc.o.d"
+  "test_dml"
+  "test_dml.pdb"
+  "test_dml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsa.dir/test_dsa.cc.o"
+  "CMakeFiles/test_dsa.dir/test_dsa.cc.o.d"
+  "test_dsa"
+  "test_dsa.pdb"
+  "test_dsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

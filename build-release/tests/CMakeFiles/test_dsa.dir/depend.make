@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dsa.
+# This may be replaced when dependencies are built.

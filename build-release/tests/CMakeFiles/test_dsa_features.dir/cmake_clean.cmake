@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsa_features.dir/test_dsa_features.cc.o"
+  "CMakeFiles/test_dsa_features.dir/test_dsa_features.cc.o.d"
+  "test_dsa_features"
+  "test_dsa_features.pdb"
+  "test_dsa_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsa_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dto.dir/test_dto.cc.o"
+  "CMakeFiles/test_dto.dir/test_dto.cc.o.d"
+  "test_dto"
+  "test_dto.pdb"
+  "test_dto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_perf_micros.dir/dsa_perf_micros.cc.o"
+  "CMakeFiles/dsa_perf_micros.dir/dsa_perf_micros.cc.o.d"
+  "dsa_perf_micros"
+  "dsa_perf_micros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_perf_micros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dsa_perf_micros.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig07_pes.cc" "bench/CMakeFiles/bench_fig07_pes.dir/bench_fig07_pes.cc.o" "gcc" "bench/CMakeFiles/bench_fig07_pes.dir/bench_fig07_pes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/dto/CMakeFiles/dsasim_dto.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/dml/CMakeFiles/dsasim_dml.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/driver/CMakeFiles/dsasim_driver.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/apps/CMakeFiles/dsasim_apps.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/cpu/CMakeFiles/dsasim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/cbdma/CMakeFiles/dsasim_cbdma.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/dsa/CMakeFiles/dsasim_dsa.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/ops/CMakeFiles/dsasim_ops.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/dsasim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/dsasim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitize/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("ops")
+subdirs("cpu")
+subdirs("dsa")
+subdirs("cbdma")
+subdirs("driver")
+subdirs("dml")
+subdirs("dto")
+subdirs("apps")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cbdma/cbdma.cc" "src/cbdma/CMakeFiles/dsasim_cbdma.dir/cbdma.cc.o" "gcc" "src/cbdma/CMakeFiles/dsasim_cbdma.dir/cbdma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/dsasim_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/dsa/CMakeFiles/dsasim_dsa.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/ops/CMakeFiles/dsasim_ops.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/dsasim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/crc32.cc" "src/ops/CMakeFiles/dsasim_ops.dir/crc32.cc.o" "gcc" "src/ops/CMakeFiles/dsasim_ops.dir/crc32.cc.o.d"
+  "/root/repo/src/ops/delta.cc" "src/ops/CMakeFiles/dsasim_ops.dir/delta.cc.o" "gcc" "src/ops/CMakeFiles/dsasim_ops.dir/delta.cc.o.d"
+  "/root/repo/src/ops/dif.cc" "src/ops/CMakeFiles/dsasim_ops.dir/dif.cc.o" "gcc" "src/ops/CMakeFiles/dsasim_ops.dir/dif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/dsasim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-sanitize/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-sanitize/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_ops[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_mem[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_dsa[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_dml[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_dto[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_cbdma[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_driver[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_dsa_features[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/test_calibration[1]_include.cmake")
