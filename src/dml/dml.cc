@@ -1,6 +1,7 @@
 #include "dml/dml.hh"
 
 #include "ops/crc32.hh"
+#include "ops/dif.hh"
 
 #include "sim/logging.hh"
 
@@ -294,6 +295,7 @@ Executor::submit(Core &core, Job &job)
 {
     Target &t = pickTarget();
     job.usedHardware = true;
+    job.targetDev = t.dev;
     job.submittedAt = sim.now();
     ++hwJobs;
     bytesOffloaded += job.desc.size;
@@ -305,8 +307,23 @@ Executor::submit(Core &core, Job &job)
         co_await t.credits->acquire();
         releaseOnDone(job.cr, *t.credits);
         co_await sub.movdir64b(*t.dev, *t.wq, job.desc);
-    } else {
+    } else if (cfg.enqcmdMaxRetries == 0) {
         co_await sub.enqcmdRetry(*t.dev, *t.wq, job.desc);
+    } else {
+        bool accepted = false;
+        co_await sub.enqcmdBackoff(*t.dev, *t.wq, job.desc, accepted,
+                                   cfg.enqcmdMaxRetries,
+                                   cfg.enqcmdBackoffBase,
+                                   cfg.enqcmdBackoffCap);
+        if (!accepted && !job.cr.isDone()) {
+            // Backoff exhausted with the SWQ still full: the job
+            // never reached the device, so the driver writes the
+            // terminal status (a Rejected portal write has already
+            // completed the record with its cause).
+            ++submitGiveUps;
+            job.cr.bytesCompleted = 0;
+            job.cr.complete(CompletionRecord::Status::QueueFull);
+        }
     }
 }
 
@@ -325,16 +342,51 @@ Executor::harvest(const CompletionRecord &cr, OpResult &out)
     out.usedHardware = true;
 }
 
+std::shared_ptr<Executor::WatchdogArm>
+Executor::armWatchdog(Job &job)
+{
+    auto arm = std::make_shared<WatchdogArm>();
+    CompletionRecord *crp = &job.cr;
+    DsaDevice *devp = job.targetDev;
+    Executor *self = this;
+    const Tick grace = cfg.watchdogGrace;
+    sim.scheduleIn(cfg.watchdogTimeout, [arm, crp, devp, self, grace] {
+        if (arm->cancelled || crp->isDone())
+            return;
+        ++self->watchdogFires;
+        // Release anything hung on the device; the descriptor then
+        // publishes Aborted on its own.
+        if (devp)
+            devp->abortHung();
+        // If even that produced no completion within the grace
+        // window, the driver declares the job dead itself so the
+        // waiter can never hang.
+        self->sim.scheduleIn(grace, [arm, crp, self] {
+            if (arm->cancelled || crp->isDone())
+                return;
+            ++self->watchdogForced;
+            crp->bytesCompleted = 0;
+            crp->complete(CompletionRecord::Status::Aborted);
+        });
+    });
+    return arm;
+}
+
 CoTask
 Executor::wait(Core &core, Job &job, OpResult &out)
 {
     panic_if(!job.usedHardware, "wait() on a non-submitted job");
+    std::shared_ptr<WatchdogArm> arm;
+    if (cfg.watchdogTimeout > 0 && !job.cr.isDone())
+        arm = armWatchdog(job);
     Submitter sub(core, targets.empty() ? DsaParams{}
                                         : targets[0].dev->params());
     if (cfg.useUmwait)
         co_await sub.umwait(job.cr);
     else
         co_await sub.poll(job.cr);
+    if (arm)
+        arm->cancelled = true;
     harvest(job.cr, out);
     out.latency = sim.now() - job.submittedAt;
 }
@@ -361,10 +413,12 @@ Executor::runSoftware(Core &core, const WorkDescriptor &d)
         return kernels.comparePatternOp(core, as, d.src, d.pattern,
                                         d.size);
       case Opcode::CrcGen:
-        return kernels.crc32Op(core, as, d.src, d.size, crc32cInit);
+        // d.crcSeed (default crc32cInit) lets a recovery remainder
+        // continue a partially computed CRC.
+        return kernels.crc32Op(core, as, d.src, d.size, d.crcSeed);
       case Opcode::CopyCrc:
         return kernels.copyCrcOp(core, as, d.dst, d.src, d.size,
-                                 crc32cInit);
+                                 d.crcSeed);
       case Opcode::Dualcast:
         return kernels.dualcastOp(core, as, d.dst, d.dst2, d.src,
                                   d.size);
@@ -431,6 +485,160 @@ Executor::executeSoftware(Core &core, const WorkDescriptor &d,
     out.recordBytes = r.recordBytes;
     out.recordFits = r.recordFits;
     out.usedHardware = false;
+    out.latency = sim.now() - t0;
+}
+
+bool
+Executor::touchFaultPage(Pasid pasid, Addr va)
+{
+    PageTable &pt = mem.space(pasid).pageTable();
+    if (!pt.lookup(va))
+        return false;
+    pt.setPresent(va, true);
+    return true;
+}
+
+bool
+Executor::advancePastCompleted(WorkDescriptor &d, std::uint64_t n,
+                               const OpResult &partial)
+{
+    if (n > d.size)
+        return false;
+    const std::uint64_t blk = d.difBlockBytes;
+    const std::uint64_t tup = difTupleBytes;
+    switch (d.op) {
+      case Opcode::Memmove:
+        d.src += n;
+        d.dst += n;
+        break;
+      case Opcode::CopyCrc:
+        d.src += n;
+        d.dst += n;
+        // The published CRC is finalized; undo the final inversion
+        // to recover the running state as the remainder's seed.
+        d.crcSeed = partial.crc ^ 0xffffffffu;
+        break;
+      case Opcode::CrcGen:
+        d.src += n;
+        d.crcSeed = partial.crc ^ 0xffffffffu;
+        break;
+      case Opcode::Dualcast:
+        d.src += n;
+        d.dst += n;
+        d.dst2 += n;
+        break;
+      case Opcode::Fill:
+        // Partial completions stop on a 4 KiB boundary, which is a
+        // multiple of both pattern widths, so the phase is kept.
+        d.dst += n;
+        break;
+      case Opcode::Compare:
+        d.src += n;
+        d.src2 += n;
+        break;
+      case Opcode::ComparePattern:
+      case Opcode::CacheFlush:
+        d.src += n;
+        break;
+      case Opcode::DifInsert:
+      case Opcode::DifCheck:
+      case Opcode::DifStrip:
+      case Opcode::DifUpdate: {
+        // n (bytesCompleted) counts data bytes of whole blocks.
+        if (blk == 0 || n % blk != 0)
+            return false;
+        const std::uint64_t blocks = n / blk;
+        const std::uint64_t in_unit =
+            d.op == Opcode::DifInsert ? blk : blk + tup;
+        const std::uint64_t out_unit =
+            d.op == Opcode::DifStrip ? blk : blk + tup;
+        d.src += blocks * in_unit;
+        if (d.op != Opcode::DifCheck)
+            d.dst += blocks * out_unit;
+        // Reference tags increment per block; the remainder starts
+        // where the completed prefix left off.
+        d.refTag += static_cast<std::uint32_t>(blocks);
+        d.newRefTag += static_cast<std::uint32_t>(blocks);
+        break;
+      }
+      default:
+        // CreateDelta/ApplyDelta record offsets are absolute, and
+        // Nop/Drain/Batch have no byte stream: restart from scratch.
+        return false;
+    }
+    d.size -= n;
+    return true;
+}
+
+CoTask
+Executor::executeRecover(Core &core, const WorkDescriptor &d,
+                         OpResult &out)
+{
+    if (!shouldOffload(d)) {
+        co_await executeSoftware(core, d, out);
+        co_return;
+    }
+    const Tick t0 = sim.now();
+    WorkDescriptor cur = d;
+    std::uint64_t done = 0;
+    unsigned attempts = 0;
+    using St = CompletionRecord::Status;
+    for (;;) {
+        auto job = prepare(cur);
+        co_await submit(core, *job);
+        OpResult r;
+        co_await wait(core, *job, r);
+
+        if (r.status == St::Success) {
+            out = r;
+            out.bytesCompleted += done;
+            out.latency = sim.now() - t0;
+            co_return;
+        }
+        if (attempts++ >= cfg.maxRecoveryAttempts)
+            break;
+        if (r.status == St::PageFault) {
+            // A mismatch inside the completed prefix is a final
+            // answer; the unread suffix cannot change it.
+            if ((cur.op == Opcode::Compare ||
+                 cur.op == Opcode::ComparePattern) && r.result == 1) {
+                out = r;
+                out.status = St::Success;
+                out.bytesCompleted += done;
+                out.latency = sim.now() - t0;
+                co_return;
+            }
+            // block-on-fault = 0 partial completion: touch the
+            // faulting page (the OS repage the spec prescribes) and
+            // re-issue only the remainder.
+            if (!touchFaultPage(cur.pasid, r.faultAddr))
+                break; // truly unmapped; no retry can progress
+            ++pageFaultResumes;
+            co_await core.busyFor(cfg.faultTouchCost, "fault-touch");
+            if (r.bytesCompleted > 0 &&
+                advancePastCompleted(cur, r.bytesCompleted, r))
+                done += r.bytesCompleted;
+            continue;
+        }
+        if (r.status == St::Aborted) {
+            // Mid-flight disable or watchdog abort: bring the device
+            // back (abort/drain already ran in disable()) and
+            // resubmit the same remainder.
+            if (job->targetDev && !job->targetDev->enabled()) {
+                job->targetDev->enable();
+                ++deviceResets;
+            }
+            continue;
+        }
+        // Hardware error, WQ overflow, queue-full: a retry cannot
+        // succeed; degrade straight to software.
+        break;
+    }
+    // Finish the remainder on the CPU — the terminal fallback that
+    // makes every job reach a final state.
+    ++recoveryFallbacks;
+    co_await executeSoftware(core, cur, out);
+    out.bytesCompleted += done;
     out.latency = sim.now() - t0;
 }
 

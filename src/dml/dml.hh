@@ -48,6 +48,38 @@ struct ExecutorConfig
         LeastLoaded, ///< pick the WQ with the most free credits
     };
     Balance balance = Balance::RoundRobin;
+
+    /// @name Recovery knobs (all off by default: the fault-free
+    /// fast path is bit-identical to the pre-recovery executor).
+    /// @{
+    /**
+     * Abort a hardware job that has not completed this long after
+     * wait() starts (a hung engine, a lost completion). 0 = off.
+     */
+    Tick watchdogTimeout = 0;
+    /**
+     * After the watchdog aborts the hung engine, how long to wait
+     * for the Aborted completion before force-completing the record
+     * from the driver side (covers a wedged device).
+     */
+    Tick watchdogGrace = fromUs(10);
+    /**
+     * Bounded-exponential ENQCMD backoff: resubmit at most this many
+     * times, pausing enqcmdBackoffBase and doubling up to
+     * enqcmdBackoffCap. 0 = legacy unbounded immediate retry (the
+     * paper's measured Fig. 9 behavior).
+     */
+    unsigned enqcmdMaxRetries = 0;
+    Tick enqcmdBackoffBase = fromNs(256);
+    Tick enqcmdBackoffCap = fromUs(16);
+    /** CPU cost to touch/repage a faulted page before resuming. */
+    Tick faultTouchCost = fromUs(2);
+    /**
+     * executeRecover(): hardware retries (resume, reset-resubmit)
+     * before degrading the remainder to the software path.
+     */
+    unsigned maxRecoveryAttempts = 3;
+    /// @}
 };
 
 /** Uniform result of any job, software or hardware. */
@@ -77,6 +109,8 @@ class Job
     std::vector<std::unique_ptr<CompletionRecord>> subCrs;
     Tick submittedAt = 0;
     bool usedHardware = false;
+    /** Device the job was submitted to (watchdog/reset target). */
+    DsaDevice *targetDev = nullptr;
 
     bool
     done() const
@@ -177,6 +211,17 @@ class Executor
     /** Force the software path regardless of configuration. */
     CoTask executeSoftware(Core &core, const WorkDescriptor &d,
                            OpResult &out);
+
+    /**
+     * Hardware execution with the full recovery protocol: partial
+     * completions (PageFault, block-on-fault = 0) touch the faulting
+     * page and re-issue the remainder; Aborted jobs re-enable the
+     * device and resubmit; anything else — and any job still failing
+     * after maxRecoveryAttempts — degrades the remainder to the
+     * software path. The job always reaches a terminal state.
+     */
+    CoTask executeRecover(Core &core, const WorkDescriptor &d,
+                          OpResult &out);
     /// @}
 
     /// @name Batch API (F2).
@@ -194,6 +239,12 @@ class Executor
     std::uint64_t hwJobs = 0;
     std::uint64_t swJobs = 0;
     std::uint64_t bytesOffloaded = 0;
+    std::uint64_t watchdogFires = 0;    ///< timeouts that aborted a job
+    std::uint64_t watchdogForced = 0;   ///< grace expired, driver-completed
+    std::uint64_t pageFaultResumes = 0; ///< partial completions resumed
+    std::uint64_t deviceResets = 0;     ///< re-enables after Aborted
+    std::uint64_t submitGiveUps = 0;    ///< ENQCMD backoff exhausted
+    std::uint64_t recoveryFallbacks = 0;///< remainders degraded to CPU
     /// @}
 
   private:
@@ -209,6 +260,27 @@ class Executor
     SwKernels::Result runSoftware(Core &core, const WorkDescriptor &d);
     static void harvest(const CompletionRecord &cr, OpResult &out);
     SimTask releaseOnDone(CompletionRecord &cr, Semaphore &credits);
+    /**
+     * Cancellation token for an armed watchdog: the timeout callback
+     * may outlive the Job, so it checks cancelled before touching
+     * the completion record.
+     */
+    struct WatchdogArm
+    {
+        bool cancelled = false;
+    };
+    std::shared_ptr<WatchdogArm> armWatchdog(Job &job);
+    /** Page the faulting VA back in; false if it is unmapped. */
+    bool touchFaultPage(Pasid pasid, Addr va);
+    /**
+     * Advance @p d past @p done_bytes of completed work so the
+     * remainder can be re-issued. Returns false for operations that
+     * must restart from the beginning (delta record offsets are
+     * absolute).
+     */
+    static bool advancePastCompleted(WorkDescriptor &d,
+                                     std::uint64_t done_bytes,
+                                     const OpResult &partial);
 
     Simulation &sim;
     MemSystem &mem;

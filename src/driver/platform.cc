@@ -108,6 +108,20 @@ Platform::Platform(Simulation &s, const PlatformConfig &cfg)
         cbdmas_.push_back(std::make_unique<CbdmaDevice>(
             s, *memSys, cfg.cbdma, static_cast<int>(d), 0));
     }
+    // Opt-in chaos: DSASIM_FAULTS seeds a platform-wide injector.
+    setFaultInjector(FaultInjector::fromEnv());
+}
+
+void
+Platform::setFaultInjector(std::unique_ptr<FaultInjector> fi)
+{
+    faultInjector = std::move(fi);
+    FaultInjector *p = faultInjector.get();
+    if (p)
+        p->attachClock(simulation);
+    for (auto &d : dsas_)
+        d->setFaultInjector(p);
+    memSys->iommu().setFaultInjector(p);
 }
 
 void

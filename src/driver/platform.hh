@@ -67,6 +67,16 @@ class Platform
     DsaDevice &dsa(std::size_t i) { return *dsas_.at(i); }
     std::size_t dsaCount() const { return dsas_.size(); }
 
+    /**
+     * The platform-wide fault injector, built from $DSASIM_FAULTS /
+     * $DSASIM_FAULT_SEED and wired to every DSA device and the IOMMU;
+     * nullptr when the variable is unset (fault-free runs).
+     */
+    FaultInjector *injector() { return faultInjector.get(); }
+
+    /** Install (or clear) an injector programmatically. */
+    void setFaultInjector(std::unique_ptr<FaultInjector> fi);
+
     CbdmaDevice &cbdma(std::size_t i) { return *cbdmas_.at(i); }
     std::size_t cbdmaCount() const { return cbdmas_.size(); }
 
@@ -100,6 +110,7 @@ class Platform
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<DsaDevice>> dsas_;
     std::vector<std::unique_ptr<CbdmaDevice>> cbdmas_;
+    std::unique_ptr<FaultInjector> faultInjector;
 };
 
 } // namespace dsasim

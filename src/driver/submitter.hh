@@ -18,6 +18,9 @@
 #ifndef DSASIM_DRIVER_SUBMITTER_HH
 #define DSASIM_DRIVER_SUBMITTER_HH
 
+#include <algorithm>
+#include <cstdint>
+
 #include "cpu/core.hh"
 #include "dsa/device.hh"
 #include "sim/task.hh"
@@ -37,7 +40,10 @@ class Submitter
     /**
      * MOVDIR64B to a dedicated WQ. Returns (resumes) as soon as the
      * core retires the store; the descriptor arrives at the portal
-     * asynchronously. Submitting to a full DWQ is a client bug.
+     * asynchronously. The client must track DWQ occupancy: a store
+     * past capacity is dropped by the portal and surfaces as a
+     * WqOverflow completion (see DsaDevice::submit), never as a
+     * silent hang.
      */
     CoTask
     movdir64b(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d)
@@ -54,29 +60,95 @@ class Submitter
 
     /**
      * ENQCMD to a shared WQ. The core blocks for the non-posted
+     * round trip; @p status reports the full portal outcome
+     * (Accepted / transient Retry / Rejected-with-cause).
+     */
+    CoTask
+    enqcmdStatus(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d,
+                 DsaDevice::SubmitStatus &status)
+    {
+        Simulation &sim = core_.simulation();
+        core_.chargeBusy(params.enqcmdRoundTrip, "submit");
+        co_await sim.delay(params.submitFlight);
+        status = dev.submit(wq, d);
+        co_await sim.delay(params.enqcmdRoundTrip -
+                           params.submitFlight);
+    }
+
+    /**
+     * ENQCMD to a shared WQ. The core blocks for the non-posted
      * round trip; @p accepted reports the returned status.
      */
     CoTask
     enqcmd(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d,
            bool &accepted)
     {
-        Simulation &sim = core_.simulation();
-        core_.chargeBusy(params.enqcmdRoundTrip, "submit");
-        co_await sim.delay(params.submitFlight);
-        accepted = dev.submit(wq, d) ==
-                   DsaDevice::SubmitStatus::Accepted;
-        co_await sim.delay(params.enqcmdRoundTrip -
-                           params.submitFlight);
+        DsaDevice::SubmitStatus st;
+        co_await enqcmdStatus(dev, wq, d, st);
+        accepted = st == DsaDevice::SubmitStatus::Accepted;
     }
 
-    /** ENQCMD, retrying until the SWQ accepts the descriptor. */
+    /**
+     * ENQCMD, retrying immediately until the SWQ accepts the
+     * descriptor. This is the paper's measured contention behavior
+     * (Fig. 9) — calibration depends on its timing, so it stays
+     * unbounded and backoff-free. A Rejected descriptor (disabled
+     * device, injected drop) terminates the loop: retrying it can
+     * never succeed and its completion record already has the cause.
+     */
     CoTask
     enqcmdRetry(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d)
     {
-        bool accepted = false;
-        while (!accepted)
-            co_await enqcmd(dev, wq, d, accepted);
+        for (;;) {
+            DsaDevice::SubmitStatus st;
+            co_await enqcmdStatus(dev, wq, d, st);
+            if (st != DsaDevice::SubmitStatus::Retry)
+                co_return;
+        }
     }
+
+    /**
+     * ENQCMD with bounded exponential backoff: on Retry the core
+     * pauses @p backoff_base, doubling up to @p backoff_cap, for at
+     * most @p max_retries resubmissions. The pause is accounted as
+     * backoff (not busy) time — the core could run other work.
+     * @p accepted is false if the WQ stayed full through the last
+     * retry (caller decides: fall back to CPU, fail the request) or
+     * if the portal rejected the descriptor outright.
+     */
+    CoTask
+    enqcmdBackoff(DsaDevice &dev, WorkQueue &wq, WorkDescriptor d,
+                  bool &accepted, unsigned max_retries,
+                  Tick backoff_base, Tick backoff_cap)
+    {
+        Simulation &sim = core_.simulation();
+        accepted = false;
+        Tick pause = backoff_base;
+        for (unsigned attempt = 0;; ++attempt) {
+            DsaDevice::SubmitStatus st;
+            co_await enqcmdStatus(dev, wq, d, st);
+            if (st == DsaDevice::SubmitStatus::Accepted) {
+                accepted = true;
+                co_return;
+            }
+            if (st == DsaDevice::SubmitStatus::Rejected)
+                co_return;
+            if (attempt >= max_retries) {
+                ++backoffGiveUps;
+                co_return;
+            }
+            ++backoffRetries;
+            core_.cycleAccount().charge("enqcmd-backoff", pause);
+            co_await sim.delay(pause);
+            pause = std::min(pause * 2, backoff_cap);
+        }
+    }
+
+    /// @name Backoff statistics.
+    /// @{
+    std::uint64_t backoffRetries = 0;
+    std::uint64_t backoffGiveUps = 0;
+    /// @}
 
     /**
      * UMONITOR + UMWAIT on the completion record. The waited time is

@@ -46,7 +46,32 @@ class CompletionRecord
         PageFault,    ///< blocked on fault with block-on-fault = 0
         Unsupported,  ///< opcode/parameter rejected
         BatchError,   ///< >= 1 descriptor in the batch failed
+        ReadError,    ///< source read failed (hardware data-path)
+        WriteError,   ///< destination write failed
+        DecodeError,  ///< descriptor decode failed
+        Aborted,      ///< abort/drain/reset or watchdog termination
+        WqOverflow,   ///< MOVDIR64B to a full DWQ (detected drop)
+        QueueFull,    ///< ENQCMD bounded retries exhausted
     };
+
+    static const char *
+    statusName(Status st)
+    {
+        switch (st) {
+          case Status::None: return "none";
+          case Status::Success: return "success";
+          case Status::PageFault: return "page-fault";
+          case Status::Unsupported: return "unsupported";
+          case Status::BatchError: return "batch-error";
+          case Status::ReadError: return "read-error";
+          case Status::WriteError: return "write-error";
+          case Status::DecodeError: return "decode-error";
+          case Status::Aborted: return "aborted";
+          case Status::WqOverflow: return "wq-overflow";
+          case Status::QueueFull: return "queue-full";
+        }
+        return "?";
+    }
 
     explicit CompletionRecord(Simulation &s) : done(s) {}
 

@@ -14,7 +14,8 @@ DsaDevice::DsaDevice(Simulation &s, MemSystem &ms, const DsaParams &p,
       fabricRd(s, p.fabricGBps, "dsa" + std::to_string(device_id) +
                                 ".fabric.rd"),
       fabricWr(s, p.fabricGBps, "dsa" + std::to_string(device_id) +
-                                ".fabric.wr")
+                                ".fabric.wr"),
+      hangReleaseTrig(std::make_unique<Trigger>(s))
 {}
 
 Group &
@@ -109,25 +110,108 @@ DsaDevice::enable()
     }
 
     isEnabled = true;
-    for (auto &e : engines)
-        e->start();
+    // A re-enable after disable()/reset() must not spawn a second
+    // processing loop per engine; the loops survive the disable.
+    if (!enginesStarted) {
+        for (auto &e : engines)
+            e->start();
+        enginesStarted = true;
+    }
+}
+
+void
+DsaDevice::completeAborted(const WorkDescriptor &d)
+{
+    ++descriptorsAborted;
+    if (d.completion && !d.completion->isDone()) {
+        d.completion->bytesCompleted = 0;
+        d.completion->complete(CompletionRecord::Status::Aborted);
+    }
+}
+
+void
+DsaDevice::disable()
+{
+    if (!isEnabled)
+        return;
+    isEnabled = false;
+    ++epoch;
+    ++resets;
+    // Flush queued descriptors: WQ entries first, then batch
+    // sub-descriptors already fanned out into the groups. Their
+    // pending-work credits stay behind; engines tolerate waking to
+    // an empty arbiter.
+    for (auto &w : wqs) {
+        for (WorkQueue::Entry &e : w->drainAll())
+            completeAborted(e.desc);
+    }
+    for (auto &g : groups) {
+        for (Work &w : g->flushInternal()) {
+            completeAborted(w.desc);
+            if (w.parent) {
+                w.parent->anyFailed = true;
+                w.parent->latch.arrive();
+            }
+        }
+    }
+    // Release hung engines; their descriptors publish Aborted.
+    abortHung();
+}
+
+void
+DsaDevice::reset()
+{
+    disable();
+    enable();
+}
+
+void
+DsaDevice::abortHung()
+{
+    hangReleaseTrig->fire();
+    // fire() clears the waiter list, so the trigger can re-arm
+    // immediately for the next hang.
+    hangReleaseTrig->reset();
 }
 
 DsaDevice::SubmitStatus
 DsaDevice::submit(WorkQueue &wq, const WorkDescriptor &d)
 {
-    fatal_if(!isEnabled, "submission to a disabled device");
     panic_if(wq.group == nullptr, "WQ %d not attached to a group",
              wq.id);
-    if (wq.mode == WorkQueue::Mode::Shared
-            ? wq.aboveThreshold()
-            : wq.full()) {
+    if (!isEnabled) {
+        // The portal of a disabled device drops the write; the
+        // descriptor is reported back as aborted.
+        ++submitsWhileDisabled;
+        completeAborted(d);
+        return SubmitStatus::Rejected;
+    }
+    bool forcedReject =
+        faultInjector &&
+        faultInjector->fire(FaultSite::WqReject,
+                            {id, wq.id, -1, static_cast<int>(d.op)});
+    if (forcedReject)
+        ++injectedRejects;
+    if (forcedReject || (wq.mode == WorkQueue::Mode::Shared
+                             ? wq.aboveThreshold()
+                             : wq.full())) {
+        if (wq.mode == WorkQueue::Mode::Dedicated) {
+            // A MOVDIR64B past DWQ capacity means the client broke
+            // its occupancy-tracking contract. Real hardware drops
+            // the descriptor; we detect the drop and report it via
+            // the completion record instead of leaving the client
+            // waiting on a completion that never comes.
+            ++dwqOverflows;
+            ++wq.rejected;
+            if (d.completion && !d.completion->isDone()) {
+                d.completion->bytesCompleted = 0;
+                d.completion->complete(
+                    CompletionRecord::Status::WqOverflow);
+            }
+            return SubmitStatus::Rejected;
+        }
         // ENQCMD reports retry (at the configured admission
-        // threshold); a MOVDIR64B to a full DWQ means the client
-        // broke its occupancy tracking contract.
-        panic_if(wq.mode == WorkQueue::Mode::Dedicated,
-                 "MOVDIR64B to full DWQ %d (client must track "
-                 "occupancy)", wq.id);
+        // threshold).
         ++descriptorsRetried;
         ++wq.rejected;
         return SubmitStatus::Retry;

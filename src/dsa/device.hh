@@ -22,6 +22,8 @@
 #include "dsa/wq.hh"
 #include "mem/mem_system.hh"
 #include "mem/tlb.hh"
+#include "sim/fault_injector.hh"
+#include "sim/sync.hh"
 
 namespace dsasim
 {
@@ -56,15 +58,54 @@ class DsaDevice
     /**
      * Validate the configuration and start the engines. Mirrors
      * accel-config's device enable; a malformed configuration is a
-     * user error (fatal).
+     * user error (fatal). Re-enabling after disable()/reset() is
+     * legal and resumes service with the same topology.
      */
     void enable();
+
+    /**
+     * Abort/drain/disable sequencing (idxd's device disable):
+     * queued descriptors in every WQ and every batch redispatch
+     * queue complete with Status::Aborted, descriptors already on an
+     * engine complete with Status::Aborted when they publish, hung
+     * engines are released, and the device stops accepting
+     * submissions until enable() is called again.
+     */
+    void disable();
+
+    /** disable() followed by enable(): a full device reset. */
+    void reset();
+
+    /**
+     * Release descriptors hung on an engine (they complete with
+     * Status::Aborted) without disabling the device. The watchdog's
+     * abort path.
+     */
+    void abortHung();
+
+    /** Bumped by every disable(); in-flight work from an older epoch
+     * publishes Status::Aborted. */
+    std::uint64_t resetEpoch() const { return epoch; }
+
+    /** Awaited by an engine whose descriptor hangs. */
+    Trigger &hangRelease() { return *hangReleaseTrig; }
+
+    /// @name Fault injection (optional; nullptr = fault-free).
+    /// @{
+    void setFaultInjector(FaultInjector *fi) { faultInjector = fi; }
+    FaultInjector *injector() { return faultInjector; }
+    /// @}
 
     /// @name Submission (the MMIO portal write, post-flight).
     /// Timing of the submitting instruction itself lives in the
     /// driver's Submitter; this is the descriptor landing in the WQ.
     /// @{
-    enum class SubmitStatus { Accepted, Retry };
+    enum class SubmitStatus
+    {
+        Accepted,
+        Retry,    ///< transient (SWQ at threshold): resubmit
+        Rejected, ///< dropped; the completion record has the cause
+    };
 
     SubmitStatus submit(WorkQueue &wq, const WorkDescriptor &d);
     /// @}
@@ -90,18 +131,28 @@ class DsaDevice
     /// @{
     std::uint64_t descriptorsSubmitted = 0;
     std::uint64_t descriptorsRetried = 0;
+    std::uint64_t descriptorsAborted = 0;  ///< flushed or abort-published
+    std::uint64_t dwqOverflows = 0;        ///< MOVDIR64B drops detected
+    std::uint64_t submitsWhileDisabled = 0;
+    std::uint64_t injectedRejects = 0;     ///< forced WqReject fires
+    std::uint64_t resets = 0;              ///< disable() invocations
 
     std::uint64_t descriptorsProcessed() const;
     std::uint64_t bytesProcessed() const;
     /// @}
 
   private:
+    /** Complete a flushed descriptor with Status::Aborted. */
+    void completeAborted(const WorkDescriptor &d);
+
     Simulation &simulation;
     MemSystem &memSys;
     DsaParams cfg;
     const int id;
     const int socketId;
     bool isEnabled = false;
+    bool enginesStarted = false;
+    std::uint64_t epoch = 0;
 
     std::vector<std::unique_ptr<Group>> groups;
     std::vector<std::unique_ptr<WorkQueue>> wqs;
@@ -110,6 +161,8 @@ class DsaDevice
     TranslationCache atcCache;
     LinkResource fabricRd;
     LinkResource fabricWr;
+    std::unique_ptr<Trigger> hangReleaseTrig;
+    FaultInjector *faultInjector = nullptr;
 };
 
 } // namespace dsasim

@@ -85,7 +85,11 @@ Engine::run()
     for (;;) {
         co_await group.awaitWork();
         auto w = group.arbitrate();
-        panic_if(!w, "arbiter woke engine %d with no work", id);
+        // A device disable/reset flushes the queues but leaves the
+        // pending-work credits behind; waking to an empty arbiter is
+        // then expected, not a protocol violation.
+        if (!w)
+            continue;
         co_await process(std::move(*w));
     }
 }
@@ -179,31 +183,40 @@ Engine::process(Work w)
     const DsaParams &p = dev.params();
     WorkDescriptor d = w.desc;
     const Tick start = sim.now();
+    const std::uint64_t epoch0 = dev.resetEpoch();
 
     FuncOut out;
 
     // Completion publication, shared by all exit paths. Extra
     // latency covers the pieces that pipeline with the next
-    // descriptor (setup, first-read fill, completion write).
-    auto publish = [this, &sim, &p](WorkDescriptor desc, FuncOut fo,
-                                    std::shared_ptr<BatchTracker> par,
-                                    Tick extra_latency) {
+    // descriptor (setup, first-read fill, completion write). If the
+    // device was disabled/reset while this descriptor was in flight
+    // (epoch changed), its result is discarded and it publishes
+    // Aborted — the hardware's complete-with-abort of in-flight work.
+    auto publish = [this, &sim, &p, epoch0](
+                       WorkDescriptor desc, FuncOut fo,
+                       std::shared_ptr<BatchTracker> par,
+                       Tick extra_latency) {
         Tick when = p.engineSetup + p.completionWrite + extra_latency;
         if (desc.wantsInterrupt())
             when += p.interruptLatency;
-        sim.scheduleIn(when, [desc, fo, par] {
-            if (desc.completion) {
+        DsaDevice *devp = &dev;
+        sim.scheduleIn(when, [desc, fo, par, devp, epoch0] {
+            const bool aborted = devp->resetEpoch() != epoch0;
+            CompletionRecord::Status st =
+                aborted ? CompletionRecord::Status::Aborted : fo.status;
+            if (desc.completion && !desc.completion->isDone()) {
                 CompletionRecord &cr = *desc.completion;
-                cr.result = fo.result;
-                cr.crc = fo.crc;
-                cr.recordBytes = fo.recordBytes;
-                cr.recordFits = fo.recordFits;
-                cr.bytesCompleted = fo.bytesCompleted;
-                cr.faultAddr = fo.faultAddr;
-                cr.complete(fo.status);
+                cr.result = aborted ? 0 : fo.result;
+                cr.crc = aborted ? 0 : fo.crc;
+                cr.recordBytes = aborted ? 0 : fo.recordBytes;
+                cr.recordFits = aborted ? true : fo.recordFits;
+                cr.bytesCompleted = aborted ? 0 : fo.bytesCompleted;
+                cr.faultAddr = aborted ? 0 : fo.faultAddr;
+                cr.complete(st);
             }
             if (par) {
-                if (fo.status != CompletionRecord::Status::Success)
+                if (st != CompletionRecord::Status::Success)
                     par->anyFailed = true;
                 par->latch.arrive();
             }
@@ -213,6 +226,50 @@ Engine::process(Work w)
     auto finishAt = [&](Tick min_end) -> Tick {
         return std::max(min_end, start + p.descriptorGap);
     };
+
+    // ---- Fault injection (before validation: hardware-level) -------
+    if (FaultInjector *fi = dev.injector()) {
+        FaultQuery q{dev.deviceId(), -1, id, static_cast<int>(d.op)};
+        if (fi->fire(FaultSite::DeviceDisable, q)) {
+            // A surprise disable mid-flight. Deferred a tick so the
+            // disable is not reentrant with this engine's dispatch;
+            // this descriptor then publishes Aborted via the epoch
+            // check in publish().
+            DsaDevice *devp = &dev;
+            sim.scheduleIn(0, [devp] { devp->disable(); });
+        }
+        if (fi->fire(FaultSite::EngineHang, q)) {
+            // The engine wedges on this descriptor and holds it until
+            // a watchdog (abortHung) or device reset releases it.
+            ++hangs;
+            co_await dev.hangRelease().wait();
+            out.status = CompletionRecord::Status::Aborted;
+            ++descriptorsProcessed;
+            publish(d, out, w.parent, 0);
+            co_return;
+        }
+        if (const FaultRule *r = fi->query(FaultSite::CompletionError,
+                                           q)) {
+            ++injectedErrors;
+            switch (r->error) {
+              case HwErrorKind::Read:
+                out.status = CompletionRecord::Status::ReadError;
+                break;
+              case HwErrorKind::Write:
+                out.status = CompletionRecord::Status::WriteError;
+                break;
+              case HwErrorKind::Decode:
+                out.status = CompletionRecord::Status::DecodeError;
+                break;
+            }
+            Tick end = finishAt(sim.now());
+            if (sim.now() < end)
+                co_await sim.delayUntil(end);
+            ++descriptorsProcessed;
+            publish(d, out, w.parent, 0);
+            co_return;
+        }
+    }
 
     // ---- Validation ------------------------------------------------
     bool valid = d.size <= p.maxTransferSize;
@@ -492,10 +549,14 @@ Engine::process(Work w)
         std::vector<std::uint8_t> buf(eff_size), rec(d.recordBytes);
         as.read(d.dst, buf.data(), eff_size);
         as.read(d.src, rec.data(), d.recordBytes);
+        // On a faulted partial, entries targeting the unreachable
+        // suffix are skipped (not malformed) so the PageFault status
+        // and resumable bytesCompleted survive.
         bool ok = deltaApply(buf.data(), eff_size, rec.data(),
-                             d.recordBytes);
+                             d.recordBytes, faulted);
         if (ok) {
-            as.write(d.dst, buf.data(), eff_size);
+            if (eff_size > 0)
+                as.write(d.dst, buf.data(), eff_size);
         } else {
             out.status = CompletionRecord::Status::Unsupported;
         }
@@ -768,7 +829,7 @@ Engine::processBatch(Work w)
         d.batch->size() > p.maxBatchSize || nested) {
         // The DSA spec forbids batch descriptors inside a batch.
         co_await sim.delay(p.batchOverhead);
-        if (d.completion)
+        if (d.completion && !d.completion->isDone())
             d.completion->complete(
                 CompletionRecord::Status::Unsupported);
         co_return;
@@ -798,12 +859,16 @@ Engine::watchBatch(WorkDescriptor d,
                    std::shared_ptr<BatchTracker> tracker)
 {
     Simulation &sim = dev.sim();
+    const std::uint64_t epoch0 = dev.resetEpoch();
     co_await tracker->latch.wait();
     co_await sim.delay(dev.params().completionWrite);
-    if (d.completion) {
-        d.completion->complete(
+    if (d.completion && !d.completion->isDone()) {
+        CompletionRecord::Status st =
             tracker->anyFailed ? CompletionRecord::Status::BatchError
-                               : CompletionRecord::Status::Success);
+                               : CompletionRecord::Status::Success;
+        if (dev.resetEpoch() != epoch0)
+            st = CompletionRecord::Status::Aborted;
+        d.completion->complete(st);
     }
 }
 

@@ -40,6 +40,8 @@ class Engine
     std::uint64_t bytesWritten = 0;
     std::uint64_t pageFaults = 0;
     std::uint64_t atcMisses = 0;
+    std::uint64_t hangs = 0;          ///< injected engine hangs
+    std::uint64_t injectedErrors = 0; ///< injected hw error statuses
     Tick busyTicks = 0;
     Tick stallTicks = 0; ///< time blocked on faults/translation
     /// @}

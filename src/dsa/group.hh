@@ -83,6 +83,19 @@ class Group
         signalWork();
     }
 
+    /**
+     * Remove and return every queued batch sub-descriptor (device
+     * disable/reset). The pending-work semaphore keeps its credits;
+     * engines tolerate waking to an empty arbiter.
+     */
+    std::deque<Work>
+    flushInternal()
+    {
+        std::deque<Work> flushed;
+        flushed.swap(internal);
+        return flushed;
+    }
+
     const int id;
     DsaDevice &dev;
 

@@ -81,6 +81,20 @@ class WorkQueue
         return e;
     }
 
+    /**
+     * Remove and return every queued entry (device disable/reset:
+     * the WQ is flushed and its descriptors complete with an abort
+     * status).
+     */
+    std::deque<Entry>
+    drainAll()
+    {
+        std::deque<Entry> flushed;
+        flushed.swap(entries);
+        flushedTotal += flushed.size();
+        return flushed;
+    }
+
     const int id;
     const Mode mode;
     const unsigned size;
@@ -94,6 +108,7 @@ class WorkQueue
 
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t flushedTotal = 0; ///< entries aborted by a flush
 
   private:
     std::deque<Entry> entries;

@@ -20,7 +20,30 @@ Dto::dispatch(Core &core, WorkDescriptor d, std::uint64_t n,
                 *cmp_result = res.result == 0 ? 0 : 1;
             co_return;
         }
+        // Any non-success degrades to the CPU — libc semantics leave
+        // no other way to report it. Attribute the cause.
         ++cpuFallbacks;
+        using St = CompletionRecord::Status;
+        switch (res.status) {
+          case St::PageFault:
+            ++fallbackPageFault;
+            break;
+          case St::ReadError:
+          case St::WriteError:
+          case St::DecodeError:
+            ++fallbackHwError;
+            break;
+          case St::Aborted:
+            ++fallbackAborted;
+            break;
+          case St::WqOverflow:
+          case St::QueueFull:
+            ++fallbackQueue;
+            break;
+          default:
+            ++fallbackOther;
+            break;
+        }
     }
     bytesOnCpu += n;
     co_await executor.executeSoftware(core, d, res);

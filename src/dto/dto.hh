@@ -57,9 +57,18 @@ class Dto
     /// @{
     std::uint64_t calls = 0;
     std::uint64_t offloaded = 0;
-    std::uint64_t cpuFallbacks = 0; ///< faulted offloads redone on CPU
+    std::uint64_t cpuFallbacks = 0; ///< failed offloads redone on CPU
     std::uint64_t bytesOffloaded = 0;
     std::uint64_t bytesOnCpu = 0;
+
+    /// @name Fallback causes (each fallback counts exactly once).
+    /// @{
+    std::uint64_t fallbackPageFault = 0; ///< partial completion
+    std::uint64_t fallbackHwError = 0;   ///< read/write/decode error
+    std::uint64_t fallbackAborted = 0;   ///< reset/watchdog abort
+    std::uint64_t fallbackQueue = 0;     ///< overflow / queue-full
+    std::uint64_t fallbackOther = 0;     ///< unsupported, batch error
+    /// @}
     /// @}
 
   private:

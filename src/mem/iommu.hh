@@ -15,6 +15,7 @@
 #include "mem/page_table.hh"
 #include "mem/tlb.hh"
 #include "mem/types.hh"
+#include "sim/fault_injector.hh"
 #include "sim/ticks.hh"
 
 namespace dsasim
@@ -62,14 +63,21 @@ class Iommu
             return res;
         }
         Addr page_base = m->vaBase;
-        if (iotlb.lookup(pasid, page_base) && m->present) {
+        // Injected fault: the page behaves as transiently non-present
+        // (e.g. reclaimed between CPU touch and device access), even
+        // if the IOTLB or the page table says otherwise.
+        bool injected = faultInjector &&
+                        faultInjector->fire(FaultSite::PageFault, {});
+        if (injected)
+            ++injectedFaults;
+        if (!injected && iotlb.lookup(pasid, page_base) && m->present) {
             res.ok = true;
             res.pa = m->paBase + (va - m->vaBase);
             res.latency = config.iotlbHitLatency;
             return res;
         }
         res.latency = config.pageWalkLatency;
-        if (!m->present) {
+        if (!m->present || injected) {
             res.faulted = true;
             if (!resolve_fault)
                 return res;
@@ -86,9 +94,16 @@ class Iommu
     TranslationCache &tlb() { return iotlb; }
     const IommuConfig &cfg() const { return config; }
 
+    /// @name Fault injection (optional; nullptr = fault-free).
+    /// @{
+    void setFaultInjector(FaultInjector *fi) { faultInjector = fi; }
+    std::uint64_t injectedFaults = 0;
+    /// @}
+
   private:
     IommuConfig config;
     TranslationCache iotlb;
+    FaultInjector *faultInjector = nullptr;
 };
 
 } // namespace dsasim

@@ -45,7 +45,8 @@ deltaCreate(const std::uint8_t *original, const std::uint8_t *modified,
 
 bool
 deltaApply(std::uint8_t *buffer, std::size_t len,
-           const std::uint8_t *record, std::size_t record_len)
+           const std::uint8_t *record, std::size_t record_len,
+           bool skip_out_of_range)
 {
     if (record_len % deltaEntryBytes != 0)
         return false;
@@ -54,8 +55,11 @@ deltaApply(std::uint8_t *buffer, std::size_t len,
             record[i] | (record[i + 1] << 8));
         std::size_t byte_off =
             static_cast<std::size_t>(off) * deltaWordBytes;
-        if (byte_off + deltaWordBytes > len)
+        if (byte_off + deltaWordBytes > len) {
+            if (skip_out_of_range)
+                continue;
             return false;
+        }
         std::memcpy(buffer + byte_off, record + i + 2, deltaWordBytes);
     }
     return true;

@@ -51,9 +51,14 @@ DeltaResult deltaCreate(const std::uint8_t *original,
  * Apply @p record (of @p record_len bytes) onto @p buffer in place.
  * Returns false if the record is malformed (bad length or an offset
  * beyond @p len).
+ *
+ * @param skip_out_of_range treat entries past @p len as "not yet
+ *        reachable" rather than malformed — the partial-completion
+ *        path, where only a prefix of the destination is writable.
  */
 bool deltaApply(std::uint8_t *buffer, std::size_t len,
-                const std::uint8_t *record, std::size_t record_len);
+                const std::uint8_t *record, std::size_t record_len,
+                bool skip_out_of_range = false);
 
 } // namespace dsasim
 

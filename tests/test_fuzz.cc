@@ -5,7 +5,9 @@
  *  - overlapping memmove in both directions on both paths;
  *  - a random-operation fuzz loop comparing the DSA path against a
  *    host-side golden model byte-for-byte;
- *  - random page-fault injection during offload streams.
+ *  - random page-fault injection during offload streams;
+ *  - random injected completion statuses: every descriptor still
+ *    reaches a terminal, internally consistent record.
  */
 
 #include <gtest/gtest.h>
@@ -205,6 +207,81 @@ TEST(Fuzz, RandomFaultInjectionAlwaysRecovers)
             }
         }
     }
+}
+
+TEST(Fuzz, RandomInjectedStatusesAreAlwaysTerminalAndConsistent)
+{
+    FuzzBench b;
+    {
+        // Every status source at once, with aggressive rates.
+        auto fi = FaultInjector::fromSpec(
+            "hw-error:p=0.10,error=read;"
+            "hw-error:p=0.05,error=write;"
+            "hw-error:p=0.05,error=decode;"
+            "page-fault:p=0.01;"
+            "disable:every=97;"
+            "hang:every=61",
+            0xdead);
+        fi->attachClock(b.sim);
+        b.plat.setFaultInjector(std::move(fi));
+    }
+    // Watchdog so injected hangs cannot stall the run.
+    dml::ExecutorConfig ec;
+    ec.path = dml::Path::Hardware;
+    ec.watchdogTimeout = fromUs(200);
+    b.exec = std::make_unique<dml::Executor>(
+        b.sim, b.plat.mem(), b.plat.kernels(),
+        std::vector<DsaDevice *>{&b.plat.dsa(0)}, ec);
+
+    Rng rng(0x5151);
+    const std::uint64_t span = 1 << 20;
+    Addr src = b.as->alloc(span);
+    Addr dst = b.as->alloc(span);
+    b.randomize(src, span, 21);
+
+    using St = CompletionRecord::Status;
+    std::uint64_t failures = 0;
+    for (int iter = 0; iter < 300; ++iter) {
+        if (!b.plat.dsa(0).enabled())
+            b.plat.dsa(0).enable();
+        std::uint64_t n = rng.range(1, 32 << 10);
+        std::uint64_t so = rng.range(0, span - n);
+        std::uint64_t dof = rng.range(0, span - n);
+        WorkDescriptor d = dml::Executor::memMove(
+            *b.as, dst + dof, src + so, n);
+        d.flags &= ~descflags::blockOnFault;
+        auto r = b.run(d);
+        switch (r.status) {
+          case St::Success:
+            ASSERT_EQ(r.bytesCompleted, n) << "iter " << iter;
+            ASSERT_TRUE(b.as->equal(src + so, dst + dof, n));
+            break;
+          case St::PageFault:
+            ASSERT_LT(r.bytesCompleted, n) << "iter " << iter;
+            ASSERT_NE(r.faultAddr, 0u);
+            ++failures;
+            break;
+          case St::ReadError:
+          case St::WriteError:
+          case St::DecodeError:
+          case St::Aborted:
+            // Error'd descriptors report no spurious progress.
+            ASSERT_EQ(r.bytesCompleted, 0u) << "iter " << iter;
+            ++failures;
+            break;
+          default:
+            FAIL() << "unexpected status "
+                   << CompletionRecord::statusName(r.status)
+                   << " at iter " << iter;
+        }
+    }
+    // The rates above make both outcomes statistically certain.
+    EXPECT_GT(failures, 0u);
+    EXPECT_GT(b.exec->hwJobs, failures);
+    const FaultInjector &fi = *b.plat.injector();
+    EXPECT_GT(fi.firesAt(FaultSite::CompletionError), 0u);
+    EXPECT_GT(fi.firesAt(FaultSite::EngineHang), 0u);
+    EXPECT_GT(fi.firesAt(FaultSite::DeviceDisable), 0u);
 }
 
 TEST(Fuzz, BatchesOfRandomSizes)
