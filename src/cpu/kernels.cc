@@ -7,6 +7,7 @@
 #include "ops/crc32.hh"
 #include "ops/delta.hh"
 #include "ops/dif.hh"
+#include "ops/span_kernels.hh"
 #include "sim/logging.hh"
 
 namespace dsasim
@@ -14,16 +15,6 @@ namespace dsasim
 
 namespace
 {
-
-/** Expand a 64-bit pattern across a scratch buffer. */
-void
-expandPattern(std::uint64_t pattern, std::uint8_t *buf, std::size_t len)
-{
-    for (std::size_t i = 0; i < len; i += 8) {
-        std::size_t run = std::min<std::size_t>(8, len - i);
-        std::memcpy(buf + i, &pattern, run);
-    }
-}
 
 constexpr std::size_t scratchChunk = 256 * 1024;
 
@@ -186,21 +177,9 @@ SwKernels::Result
 SwKernels::memcpyOp(Core &core, AddressSpace &as, Addr dst, Addr src,
                     std::uint64_t n)
 {
-    // Functional move, chunked through scratch; memmove semantics
-    // (copy backwards when dst overlaps above src).
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(n,
-                                                          scratchChunk));
-    const bool backward = dst > src && dst < src + n;
-    const std::uint64_t nchunks =
-        n ? (n + scratchChunk - 1) / scratchChunk : 0;
-    for (std::uint64_t c = 0; c < nchunks; ++c) {
-        std::uint64_t idx = backward ? nchunks - 1 - c : c;
-        std::uint64_t off = idx * scratchChunk;
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        as.read(src + off, buf.data(), run);
-        as.write(dst + off, buf.data(), run);
-    }
+    // Functional move, zero-copy on the backing spans; copy() keeps
+    // memmove semantics for overlapping ranges.
+    as.copy(dst, src, n);
 
     RangeCost rd = touchRange(core, as, src, n, false, true);
     RangeCost wr = touchRange(core, as, dst, n, true, true);
@@ -211,14 +190,23 @@ SwKernels::Result
 SwKernels::dualcastOp(Core &core, AddressSpace &as, Addr dst1,
                       Addr dst2, Addr src, std::uint64_t n)
 {
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(n,
-                                                          scratchChunk));
-    for (std::uint64_t off = 0; off < n; off += scratchChunk) {
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        as.read(src + off, buf.data(), run);
-        as.write(dst1 + off, buf.data(), run);
-        as.write(dst2 + off, buf.data(), run);
+    if (!rangesOverlap(src, n, dst1, n) &&
+        !rangesOverlap(src, n, dst2, n) &&
+        !rangesOverlap(dst1, n, dst2, n)) {
+        as.copy(dst1, src, n);
+        as.copy(dst2, src, n);
+    } else {
+        // Aliased ranges: the result depends on chunk order, keep
+        // the legacy forward copy.
+        std::vector<std::uint8_t> buf(
+            std::min<std::uint64_t>(n, scratchChunk));
+        for (std::uint64_t off = 0; off < n; off += scratchChunk) {
+            std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
+                                                        n - off);
+            as.read(src + off, buf.data(), run);
+            as.write(dst1 + off, buf.data(), run);
+            as.write(dst2 + off, buf.data(), run);
+        }
     }
 
     RangeCost rd = touchRange(core, as, src, n, false, true);
@@ -231,15 +219,19 @@ SwKernels::Result
 SwKernels::copyCrcOp(Core &core, AddressSpace &as, Addr dst, Addr src,
                      std::uint64_t n, std::uint32_t seed)
 {
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(n,
-                                                          scratchChunk));
     std::uint32_t crc = seed;
-    for (std::uint64_t off = 0; off < n; off += scratchChunk) {
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        as.read(src + off, buf.data(), run);
-        crc = crc32c(buf.data(), run, crc);
-        as.write(dst + off, buf.data(), run);
+    if (!rangesOverlap(src, n, dst, n)) {
+        crc = spanCopyCrc(as, dst, src, n, crc);
+    } else {
+        std::vector<std::uint8_t> buf(
+            std::min<std::uint64_t>(n, scratchChunk));
+        for (std::uint64_t off = 0; off < n; off += scratchChunk) {
+            std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
+                                                        n - off);
+            as.read(src + off, buf.data(), run);
+            crc = crc32c(buf.data(), run, crc);
+            as.write(dst + off, buf.data(), run);
+        }
     }
 
     RangeCost rd = touchRange(core, as, src, n, false, true);
@@ -257,16 +249,9 @@ SwKernels::memsetOp(Core &core, AddressSpace &as, Addr dst,
                     std::uint64_t pattern, std::uint64_t n,
                     bool nontemporal)
 {
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(n,
-                                                          scratchChunk));
-    expandPattern(pattern, buf.data(), buf.size());
-    for (std::uint64_t off = 0; off < n; off += scratchChunk) {
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        // Keep the 8-byte pattern phase across chunk boundaries.
-        panic_if(scratchChunk % 8 != 0, "scratch not pattern aligned");
-        as.write(dst + off, buf.data(), run);
-    }
+    // Fills spans in place; byte i gets pattern byte i % 8, same as
+    // the old chunked scratch expansion.
+    spanFillPattern(as, dst, n, pattern, 0, 8);
 
     RangeCost wr = touchRange(core, as, dst, n, true, !nontemporal);
     return finish(core, n, 0.0, {wr});
@@ -281,22 +266,7 @@ SwKernels::memsetOp2(Core &core, AddressSpace &as, Addr dst,
     if (pattern_bytes <= 8)
         return memsetOp(core, as, dst, lo, n, nontemporal);
 
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(n,
-                                                          scratchChunk));
-    for (std::size_t i = 0; i < buf.size(); i += 16) {
-        std::size_t run = std::min<std::size_t>(8, buf.size() - i);
-        std::memcpy(buf.data() + i, &lo, run);
-        if (buf.size() > i + 8) {
-            run = std::min<std::size_t>(8, buf.size() - i - 8);
-            std::memcpy(buf.data() + i + 8, &hi, run);
-        }
-    }
-    panic_if(scratchChunk % 16 != 0, "scratch not pattern aligned");
-    for (std::uint64_t off = 0; off < n; off += scratchChunk) {
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        as.write(dst + off, buf.data(), run);
-    }
+    spanFillPattern(as, dst, n, lo, hi, 16);
 
     RangeCost wr = touchRange(core, as, dst, n, true, !nontemporal);
     return finish(core, n, 0.0, {wr});
@@ -306,27 +276,10 @@ SwKernels::Result
 SwKernels::memcmpOp(Core &core, AddressSpace &as, Addr a, Addr b,
                     std::uint64_t n)
 {
-    std::vector<std::uint8_t> ba(std::min<std::uint64_t>(n,
-                                                         scratchChunk));
-    std::vector<std::uint8_t> bb(std::min<std::uint64_t>(n,
-                                                         scratchChunk));
+    const std::uint64_t mm = spanCompare(as, a, b, n);
     Result pre;
-    pre.ok = true;
-    pre.diffOffset = n;
-    for (std::uint64_t off = 0; off < n && pre.ok;
-         off += scratchChunk) {
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        as.read(a + off, ba.data(), run);
-        as.read(b + off, bb.data(), run);
-        for (std::uint64_t i = 0; i < run; ++i) {
-            if (ba[i] != bb[i]) {
-                pre.ok = false;
-                pre.diffOffset = off + i;
-                break;
-            }
-        }
-    }
+    pre.ok = mm == n;
+    pre.diffOffset = mm;
 
     // A mismatch exits early: only the compared prefix is streamed
     // (rounded up to the vectorized block the comparison works in).
@@ -349,26 +302,10 @@ SwKernels::Result
 SwKernels::comparePatternOp(Core &core, AddressSpace &as, Addr a,
                             std::uint64_t pattern, std::uint64_t n)
 {
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(n,
-                                                          scratchChunk));
-    std::vector<std::uint8_t> pat(buf.size());
-    expandPattern(pattern, pat.data(), pat.size());
+    const std::uint64_t mm = spanComparePattern(as, a, n, pattern);
     Result pre;
-    pre.ok = true;
-    pre.diffOffset = n;
-    for (std::uint64_t off = 0; off < n && pre.ok;
-         off += scratchChunk) {
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        as.read(a + off, buf.data(), run);
-        for (std::uint64_t i = 0; i < run; ++i) {
-            if (buf[i] != pat[i]) {
-                pre.ok = false;
-                pre.diffOffset = off + i;
-                break;
-            }
-        }
-    }
+    pre.ok = mm == n;
+    pre.diffOffset = mm;
 
     std::uint64_t eff = pre.ok
         ? n
@@ -444,15 +381,7 @@ SwKernels::Result
 SwKernels::crc32Op(Core &core, AddressSpace &as, Addr src,
                    std::uint64_t n, std::uint32_t seed)
 {
-    std::vector<std::uint8_t> buf(std::min<std::uint64_t>(n,
-                                                          scratchChunk));
-    std::uint32_t crc = seed;
-    for (std::uint64_t off = 0; off < n; off += scratchChunk) {
-        std::uint64_t run = std::min<std::uint64_t>(scratchChunk,
-                                                    n - off);
-        as.read(src + off, buf.data(), run);
-        crc = crc32c(buf.data(), run, crc);
-    }
+    const std::uint32_t crc = spanCrc(as, src, n, seed);
 
     RangeCost rd = touchRange(core, as, src, n, false, true);
     Result r = finish(core, n,

@@ -9,6 +9,7 @@
 #include "ops/crc32.hh"
 #include "ops/delta.hh"
 #include "ops/dif.hh"
+#include "ops/span_kernels.hh"
 #include "sim/logging.hh"
 
 namespace dsasim
@@ -35,37 +36,16 @@ struct Stream
     Addr va = 0;
     std::uint64_t len = 0;
     bool write = false;
+    // Translation used by the last timing-walk step, cached by value
+    // so the walk revalidates with one range check instead of a page
+    // table search per page. Lookups cost no simulated time, so this
+    // cannot change any computed tick.
+    Addr mapVa = 0;
+    Addr mapPa = 0;
+    std::uint64_t mapSize = 0;
 };
 
 constexpr std::size_t scratchChunk = 256 * 1024;
-
-void
-expandPattern(std::uint64_t pattern, std::uint8_t *buf, std::size_t len)
-{
-    for (std::size_t i = 0; i < len; i += 8) {
-        std::size_t run = std::min<std::size_t>(8, len - i);
-        std::memcpy(buf + i, &pattern, run);
-    }
-}
-
-/** Expand an 8- or 16-byte fill pattern. */
-void
-expandPattern2(std::uint64_t lo, std::uint64_t hi, unsigned pat_bytes,
-               std::uint8_t *buf, std::size_t len)
-{
-    if (pat_bytes <= 8) {
-        expandPattern(lo, buf, len);
-        return;
-    }
-    for (std::size_t i = 0; i < len; i += 16) {
-        std::size_t run = std::min<std::size_t>(8, len - i);
-        std::memcpy(buf + i, &lo, run);
-        if (len > i + 8) {
-            run = std::min<std::size_t>(8, len - i - 8);
-            std::memcpy(buf + i + 8, &hi, run);
-        }
-    }
-}
 
 } // namespace
 
@@ -106,7 +86,7 @@ Engine::translateRange(AddressSpace &as, Addr va, std::uint64_t len,
     Addr cursor = va;
     std::uint64_t remaining = len;
     while (remaining > 0) {
-        auto m = as.pageTable().lookup(cursor);
+        const PageTable::Mapping *m = as.pageTable().find(cursor);
         if (!m) {
             // Unmapped: an unresolvable fault either way.
             out.faulted = true;
@@ -434,106 +414,106 @@ Engine::process(Work w)
     }
 
     // ---- Functional execution --------------------------------------
-    // (Timed below; data is moved here so results are exact.)
-    std::vector<std::uint8_t> scratch;
+    // (Timed below; data is moved here so results are exact. The
+    // kernels run zero-copy on the spans backing each VA range;
+    // overlap-sensitive cases fall back to the legacy chunk order
+    // through the per-engine staging buffers, because their results
+    // genuinely depend on copy order.)
     switch (d.op) {
       case Opcode::Memmove:
-      case Opcode::Dualcast:
+        // copy() has memmove semantics, matching the directional
+        // chunked copy this used to do for overlapping ranges.
+        as.copy(d.dst, d.src, eff_size);
+        out.bytesCompleted = eff_size;
+        break;
       case Opcode::CopyCrc: {
-        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
         std::uint32_t crc = d.crcSeed;
-        // Memory Move supports overlapping ranges: copy backwards
-        // when the destination overlaps above the source so chunks
-        // never read bytes an earlier chunk already overwrote.
-        const bool backward = d.op == Opcode::Memmove &&
-                              d.dst > d.src &&
-                              d.dst < d.src + eff_size;
-        const std::uint64_t nchunks =
-            (eff_size + scratchChunk - 1) / scratchChunk;
-        for (std::uint64_t c = 0; c < nchunks; ++c) {
-            std::uint64_t idx = backward ? nchunks - 1 - c : c;
-            std::uint64_t off = idx * scratchChunk;
-            std::uint64_t run =
-                std::min<std::uint64_t>(scratchChunk, eff_size - off);
-            as.read(d.src + off, scratch.data(), run);
-            if (d.op == Opcode::CopyCrc)
-                crc = crc32c(scratch.data(), run, crc);
-            if (d.op != Opcode::CrcGen)
-                as.write(d.dst + off, scratch.data(), run);
-            if (d.op == Opcode::Dualcast)
-                as.write(d.dst2 + off, scratch.data(), run);
-        }
-        if (d.op == Opcode::CopyCrc)
-            out.crc = crc32cFinish(crc);
-        out.bytesCompleted = eff_size;
-        break;
-      }
-      case Opcode::Fill: {
-        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
-        expandPattern2(d.pattern, d.pattern2, d.patternBytes,
-                       scratch.data(), scratch.size());
-        for (std::uint64_t off = 0; off < eff_size;
-             off += scratchChunk) {
-            std::uint64_t run =
-                std::min<std::uint64_t>(scratchChunk, eff_size - off);
-            as.write(d.dst + off, scratch.data(), run);
-        }
-        out.bytesCompleted = eff_size;
-        break;
-      }
-      case Opcode::CrcGen: {
-        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
-        std::uint32_t crc = d.crcSeed;
-        for (std::uint64_t off = 0; off < eff_size;
-             off += scratchChunk) {
-            std::uint64_t run =
-                std::min<std::uint64_t>(scratchChunk, eff_size - off);
-            as.read(d.src + off, scratch.data(), run);
-            crc = crc32c(scratch.data(), run, crc);
+        if (!rangesOverlap(d.src, eff_size, d.dst, eff_size)) {
+            crc = spanCopyCrc(as, d.dst, d.src, eff_size, crc);
+        } else {
+            std::uint8_t *buf = ensure(
+                bufA, std::min<std::uint64_t>(eff_size, scratchChunk));
+            for (std::uint64_t off = 0; off < eff_size;
+                 off += scratchChunk) {
+                std::uint64_t run = std::min<std::uint64_t>(
+                    scratchChunk, eff_size - off);
+                as.read(d.src + off, buf, run);
+                crc = crc32c(buf, run, crc);
+                as.write(d.dst + off, buf, run);
+            }
         }
         out.crc = crc32cFinish(crc);
         out.bytesCompleted = eff_size;
         break;
       }
-      case Opcode::Compare:
-      case Opcode::ComparePattern: {
-        scratch.resize(std::min<std::uint64_t>(eff_size, scratchChunk));
-        std::vector<std::uint8_t> other(scratch.size());
-        if (d.op == Opcode::ComparePattern)
-            expandPattern(d.pattern, other.data(), other.size());
-        out.result = 0;
-        out.bytesCompleted = eff_size;
-        for (std::uint64_t off = 0;
-             off < eff_size && out.result == 0; off += scratchChunk) {
-            std::uint64_t run =
-                std::min<std::uint64_t>(scratchChunk, eff_size - off);
-            as.read(d.src + off, scratch.data(), run);
-            if (d.op == Opcode::Compare)
-                as.read(d.src2 + off, other.data(), run);
-            for (std::uint64_t i = 0; i < run; ++i) {
-                if (scratch[i] != other[i]) {
-                    out.result = 1;
-                    out.bytesCompleted = off + i;
-                    break;
-                }
+      case Opcode::Dualcast: {
+        const bool aliased =
+            rangesOverlap(d.src, eff_size, d.dst, eff_size) ||
+            rangesOverlap(d.src, eff_size, d.dst2, eff_size) ||
+            rangesOverlap(d.dst, eff_size, d.dst2, eff_size);
+        if (!aliased) {
+            as.copy(d.dst, d.src, eff_size);
+            as.copy(d.dst2, d.src, eff_size);
+        } else {
+            std::uint8_t *buf = ensure(
+                bufA, std::min<std::uint64_t>(eff_size, scratchChunk));
+            for (std::uint64_t off = 0; off < eff_size;
+                 off += scratchChunk) {
+                std::uint64_t run = std::min<std::uint64_t>(
+                    scratchChunk, eff_size - off);
+                as.read(d.src + off, buf, run);
+                as.write(d.dst + off, buf, run);
+                as.write(d.dst2 + off, buf, run);
             }
         }
-        if (out.result == 1) {
+        out.bytesCompleted = eff_size;
+        break;
+      }
+      case Opcode::Fill:
+        spanFillPattern(as, d.dst, eff_size, d.pattern, d.pattern2,
+                        d.patternBytes);
+        out.bytesCompleted = eff_size;
+        break;
+      case Opcode::CrcGen:
+        out.crc =
+            crc32cFinish(spanCrc(as, d.src, eff_size, d.crcSeed));
+        out.bytesCompleted = eff_size;
+        break;
+      case Opcode::Compare:
+      case Opcode::ComparePattern: {
+        const std::uint64_t mm =
+            d.op == Opcode::Compare
+                ? spanCompare(as, d.src, d.src2, eff_size)
+                : spanComparePattern(as, d.src, eff_size, d.pattern);
+        if (mm < eff_size) {
+            out.result = 1;
+            out.bytesCompleted = mm;
             // Early exit: only the compared prefix is streamed.
             eff_size = std::min<std::uint64_t>(
-                eff_size,
-                (out.bytesCompleted / p.chunkBytes + 1) * p.chunkBytes);
+                eff_size, (mm / p.chunkBytes + 1) * p.chunkBytes);
             for (Stream &s : streams)
                 s.len = std::min<std::uint64_t>(s.len, eff_size);
+        } else {
+            out.result = 0;
+            out.bytesCompleted = eff_size;
         }
         break;
       }
       case Opcode::CreateDelta: {
-        std::vector<std::uint8_t> orig(eff_size), mod(eff_size);
-        as.read(d.src, orig.data(), eff_size);
-        as.read(d.src2, mod.data(), eff_size);
-        DeltaResult dr = deltaCreate(orig.data(), mod.data(), eff_size,
-                                     d.maxRecordBytes);
+        const std::uint8_t *orig =
+            as.contiguousConst(d.src, eff_size, "read");
+        if (!orig && eff_size) {
+            as.read(d.src, ensure(bufA, eff_size), eff_size);
+            orig = bufA.data();
+        }
+        const std::uint8_t *mod =
+            as.contiguousConst(d.src2, eff_size, "read");
+        if (!mod && eff_size) {
+            as.read(d.src2, ensure(bufB, eff_size), eff_size);
+            mod = bufB.data();
+        }
+        DeltaResult dr =
+            deltaCreate(orig, mod, eff_size, d.maxRecordBytes);
         if (!dr.record.empty())
             as.write(d.dst, dr.record.data(), dr.record.size());
         out.recordBytes = dr.record.size();
@@ -546,19 +526,29 @@ Engine::process(Work w)
         break;
       }
       case Opcode::ApplyDelta: {
-        std::vector<std::uint8_t> buf(eff_size), rec(d.recordBytes);
-        as.read(d.dst, buf.data(), eff_size);
-        as.read(d.src, rec.data(), d.recordBytes);
-        // On a faulted partial, entries targeting the unreachable
-        // suffix are skipped (not malformed) so the PageFault status
-        // and resumable bytesCompleted survive.
-        bool ok = deltaApply(buf.data(), eff_size, rec.data(),
-                             d.recordBytes, faulted);
-        if (ok) {
-            if (eff_size > 0)
-                as.write(d.dst, buf.data(), eff_size);
-        } else {
+        const std::uint8_t *rec =
+            as.contiguousConst(d.src, d.recordBytes, "read");
+        if (!rec && d.recordBytes) {
+            as.read(d.src, ensure(bufA, d.recordBytes), d.recordBytes);
+            rec = bufA.data();
+        }
+        // Validated before any write so a malformed record leaves
+        // the destination untouched. On a faulted partial, entries
+        // targeting the unreachable suffix are skipped (not
+        // malformed) so the PageFault status and resumable
+        // bytesCompleted survive.
+        if (!deltaRecordValid(rec, d.recordBytes, eff_size, faulted)) {
             out.status = CompletionRecord::Status::Unsupported;
+        } else if (eff_size > 0) {
+            if (std::uint8_t *dst =
+                    as.contiguous(d.dst, eff_size, "write")) {
+                deltaApply(dst, eff_size, rec, d.recordBytes, faulted);
+            } else {
+                std::uint8_t *buf = ensure(bufB, eff_size);
+                as.read(d.dst, buf, eff_size);
+                deltaApply(buf, eff_size, rec, d.recordBytes, faulted);
+                as.write(d.dst, buf, eff_size);
+            }
         }
         out.bytesCompleted = eff_size;
         break;
@@ -574,34 +564,60 @@ Engine::process(Work w)
             d.op == Opcode::DifInsert ? blk : blk + tup;
         std::uint64_t out_unit =
             d.op == Opcode::DifStrip ? blk : blk + tup;
-        std::vector<std::uint8_t> in(in_unit), outb(out_unit);
+        const bool has_dst = d.op != Opcode::DifCheck;
+        // Blocks resolve directly into backing unless the source and
+        // destination ranges alias (then later reads must observe
+        // earlier writes in legacy order, which the buffered path
+        // reproduces).
+        const bool aliased = has_dst &&
+            rangesOverlap(d.src, eff_blocks * in_unit, d.dst,
+                          eff_blocks * out_unit);
+        std::uint8_t *in_buf = ensure(bufA, in_unit);
+        std::uint8_t *out_buf = ensure(bufB, out_unit);
         DifCheckResult chk;
         for (std::uint64_t b = 0; b < eff_blocks && chk.ok; ++b) {
-            as.read(d.src + b * in_unit, in.data(), in_unit);
+            const Addr src_va = d.src + b * in_unit;
+            const Addr dst_va = d.dst + b * out_unit;
+            const std::uint8_t *in = aliased
+                ? nullptr
+                : as.contiguousConst(src_va, in_unit, "read");
+            if (!in) {
+                as.read(src_va, in_buf, in_unit);
+                in = in_buf;
+            }
             auto tag32 = static_cast<std::uint32_t>(b);
             switch (d.op) {
               case Opcode::DifInsert:
-                difInsert(in.data(), outb.data(), blk, 1, d.appTag,
-                          d.refTag + tag32);
-                as.write(d.dst + b * out_unit, outb.data(), out_unit);
+              case Opcode::DifStrip: {
+                std::uint8_t *outp = aliased
+                    ? nullptr
+                    : as.contiguous(dst_va, out_unit, "write");
+                const bool direct = outp != nullptr;
+                if (!direct)
+                    outp = out_buf;
+                if (d.op == Opcode::DifInsert)
+                    difInsert(in, outp, blk, 1, d.appTag,
+                              d.refTag + tag32);
+                else
+                    difStrip(in, outp, blk, 1);
+                if (!direct)
+                    as.write(dst_va, out_buf, out_unit);
                 break;
+              }
               case Opcode::DifCheck:
-                chk = difCheck(in.data(), blk, 1, d.appTag,
+                chk = difCheck(in, blk, 1, d.appTag,
                                d.refTag + tag32);
                 if (!chk.ok)
                     chk.failedBlock = b;
                 break;
-              case Opcode::DifStrip:
-                difStrip(in.data(), outb.data(), blk, 1);
-                as.write(d.dst + b * out_unit, outb.data(), out_unit);
-                break;
               case Opcode::DifUpdate:
-                chk = difUpdate(in.data(), outb.data(), blk, 1,
-                                d.appTag, d.refTag + tag32,
-                                d.newAppTag, d.newRefTag + tag32);
+                // Staged: a failed check must leave the block's
+                // destination untouched.
+                chk = difUpdate(in, out_buf, blk, 1, d.appTag,
+                                d.refTag + tag32, d.newAppTag,
+                                d.newRefTag + tag32);
                 if (chk.ok) {
-                    as.write(d.dst + b * out_unit, outb.data(),
-                             out_unit);
+                    as.write(dst_va, out_buf, out_unit);
                 } else {
                     chk.failedBlock = b;
                 }
@@ -696,7 +712,7 @@ Engine::process(Work w)
                       static_cast<double>(primary))
                 : 0;
             Tick link_end = 0;
-            for (const Stream &s : streams) {
+            for (Stream &s : streams) {
                 if (s.len == 0)
                     continue;
                 // Proportional slice of this stream for the chunk.
@@ -708,17 +724,27 @@ Engine::process(Work w)
                 Addr va = s.va + s_beg;
 
                 // Walk the slice page by page (PAs are contiguous
-                // only within a page).
+                // only within a page). The stream's last translation
+                // is cached by value — revalidated by range, so a
+                // map() elsewhere between co_awaits cannot leave a
+                // dangling pointer here — and a chunk usually stays
+                // within one page, so the search is skipped.
                 std::uint64_t left = slice;
                 Addr cursor = va;
                 while (left > 0) {
-                    auto m = as.pageTable().lookup(cursor);
-                    panic_if(!m || !m->present,
-                             "stream touches untranslated page");
+                    if (cursor - s.mapVa >= s.mapSize) {
+                        const PageTable::Mapping *m =
+                            as.pageTable().find(cursor);
+                        panic_if(!m || !m->present,
+                                 "stream touches untranslated page");
+                        s.mapVa = m->vaBase;
+                        s.mapPa = m->paBase;
+                        s.mapSize = m->size;
+                    }
                     std::uint64_t in_page =
-                        m->vaBase + m->size - cursor;
+                        s.mapVa + s.mapSize - cursor;
                     std::uint64_t seg = std::min(left, in_page);
-                    Addr pa = m->paBase + (cursor - m->vaBase);
+                    Addr pa = s.mapPa + (cursor - s.mapVa);
                     int nid = MemSystem::paNode(pa);
 
                     if (!s.write) {

@@ -12,6 +12,7 @@
 #define DSASIM_DSA_ENGINE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "dsa/group.hh"
 #include "sim/task.hh"
@@ -80,9 +81,26 @@ class Engine
     /** Effective streaming rate given the group's read buffers. */
     double effectiveRate(int src_node) const;
 
+    /** Grow @p buf to at least @p n bytes without re-zeroing. */
+    static std::uint8_t *
+    ensure(std::vector<std::uint8_t> &buf, std::uint64_t n)
+    {
+        if (buf.size() < n)
+            buf.resize(n);
+        return buf.data();
+    }
+
     DsaDevice &dev;
     Group &group;
     const int id;
+
+    // Per-engine staging buffers for the few operations that cannot
+    // run zero-copy (overlapping copies, non-contiguous delta/DIF
+    // inputs). run() awaits one process() at a time, so a single set
+    // per engine is safe; grow-only reuse avoids the per-descriptor
+    // allocate-and-zero the old scratch vectors paid.
+    std::vector<std::uint8_t> bufA;
+    std::vector<std::uint8_t> bufB;
 };
 
 } // namespace dsasim

@@ -5,6 +5,26 @@
  * Provides an mmap-like allocator over the memory nodes (choice of
  * tier and page size), the PASID identity used for SVM offload, and
  * functional byte access used by workloads and by the device models.
+ *
+ * Functional access resolves VA ranges to *spans* — direct host
+ * pointers into the physical backing store — so data operations run
+ * zero-copy instead of bouncing through scratch buffers. Span
+ * contract:
+ *
+ *  - A span never crosses a page or a 2 MiB backing-chunk boundary
+ *    before merging; adjacent per-page spans are merged when their
+ *    host pointers are contiguous, so contiguous allocations usually
+ *    resolve to a single span per 2 MiB.
+ *  - Span pointers are stable until the AddressSpace is destroyed:
+ *    backing chunks are never freed or moved. Mappings installed by
+ *    a later alloc() do not move existing backing either; only the
+ *    page-table *lookup* structures are invalidated by map().
+ *  - A ConstSpan with ptr == nullptr denotes memory that was never
+ *    written: it reads as zeroes and resolving it does not
+ *    materialize backing (sparse reads stay sparse).
+ *  - The present bit (evictPage) is a *device-visible* attribute:
+ *    functional host access ignores it, matching the pre-span
+ *    behavior of read()/write().
  */
 
 #ifndef DSASIM_MEM_ADDRESS_SPACE_HH
@@ -38,11 +58,120 @@ class AddressSpace
                PageSize page_size = PageSize::Size4K,
                int requester_socket = 0);
 
+    /// @name Zero-copy span resolution.
+    /// @{
+
+    /** A writable run of host memory backing a VA range. */
+    struct Span
+    {
+        std::uint8_t *ptr = nullptr;
+        std::uint64_t len = 0;
+    };
+
+    /**
+     * A readable run. ptr == nullptr means the backing was never
+     * written: the whole run reads as zeroes.
+     */
+    struct ConstSpan
+    {
+        const std::uint8_t *ptr = nullptr;
+        std::uint64_t len = 0;
+    };
+
+    /**
+     * Invoke @p fn(Span) over maximal host-contiguous runs covering
+     * [va, va+len). Materializes backing. @p what names the
+     * operation in the unmapped-VA panic.
+     */
+    template <typename Fn>
+    void
+    forEachSpan(Addr va, std::uint64_t len, const char *what, Fn &&fn)
+    {
+        Span pend;
+        while (len > 0) {
+            Span s = spanAt(va, len, what);
+            if (pend.len && s.ptr == pend.ptr + pend.len) {
+                pend.len += s.len;
+            } else {
+                if (pend.len)
+                    fn(pend);
+                pend = s;
+            }
+            va += s.len;
+            len -= s.len;
+        }
+        if (pend.len)
+            fn(pend);
+    }
+
+    /**
+     * Read-only counterpart; adjacent never-written runs merge into
+     * one nullptr span.
+     */
+    template <typename Fn>
+    void
+    forEachConstSpan(Addr va, std::uint64_t len, const char *what,
+                     Fn &&fn) const
+    {
+        ConstSpan pend;
+        bool has = false;
+        while (len > 0) {
+            ConstSpan s = constSpanAt(va, len, what);
+            const bool joins =
+                has && (s.ptr ? s.ptr == pend.ptr + pend.len
+                              : pend.ptr == nullptr);
+            if (joins) {
+                pend.len += s.len;
+            } else {
+                if (has)
+                    fn(pend);
+                pend = s;
+                has = true;
+            }
+            va += s.len;
+            len -= s.len;
+        }
+        if (has)
+            fn(pend);
+    }
+
+    /** Append the merged spans covering [va, va+len) to @p out. */
+    void resolveSpans(Addr va, std::uint64_t len,
+                      std::vector<Span> &out,
+                      const char *what = "access");
+    void resolveConstSpans(Addr va, std::uint64_t len,
+                           std::vector<ConstSpan> &out,
+                           const char *what = "access") const;
+
+    /**
+     * Host pointer iff [va, va+len) resolves to one contiguous span
+     * (materializing backing), else nullptr. len == 0 yields
+     * nullptr.
+     */
+    std::uint8_t *contiguous(Addr va, std::uint64_t len,
+                             const char *what = "access");
+
+    /**
+     * Read-only variant; also nullptr when any page in the range was
+     * never written (callers fall back to the span walk).
+     */
+    const std::uint8_t *contiguousConst(Addr va, std::uint64_t len,
+                                        const char *what = "access")
+        const;
+    /// @}
+
     /// @name Functional access by virtual address (no timing).
     /// @{
     void read(Addr va, void *dst, std::uint64_t len) const;
     void write(Addr va, const void *src, std::uint64_t len);
     void fill(Addr va, std::uint8_t value, std::uint64_t len);
+
+    /**
+     * Copy [src, src+len) over [dst, dst+len) with memmove
+     * semantics (overlap-safe in either direction), zero-copy.
+     */
+    void copy(Addr dst, Addr src, std::uint64_t len);
+
     bool equal(Addr va_a, Addr va_b, std::uint64_t len) const;
     std::uint8_t byteAt(Addr va) const;
     /// @}
@@ -61,6 +190,12 @@ class AddressSpace
     PageSize pageSizeOf(Addr va) const;
 
   private:
+    /** One page-bounded writable span starting at @p va. */
+    Span spanAt(Addr va, std::uint64_t max_len, const char *what);
+    /** One page-bounded readable span (nullptr when never written). */
+    ConstSpan constSpanAt(Addr va, std::uint64_t max_len,
+                          const char *what) const;
+
     struct Region
     {
         Addr vaBase;

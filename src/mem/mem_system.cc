@@ -33,22 +33,6 @@ MemSystem::MemSystem(Simulation &s, const MemSystemConfig &cfg)
 
 MemSystem::~MemSystem() = default;
 
-MemNode &
-MemSystem::node(int id)
-{
-    panic_if(id < 0 || static_cast<std::size_t>(id) >= nodes.size(),
-             "bad node id %d", id);
-    return *nodes[static_cast<std::size_t>(id)];
-}
-
-const MemNode &
-MemSystem::node(int id) const
-{
-    panic_if(id < 0 || static_cast<std::size_t>(id) >= nodes.size(),
-             "bad node id %d", id);
-    return *nodes[static_cast<std::size_t>(id)];
-}
-
 int
 MemSystem::nodeIdFor(MemKind intent, int requester_socket) const
 {
@@ -90,12 +74,6 @@ void
 MemSystem::physFill(Addr pa, std::uint8_t value, std::uint64_t len)
 {
     node(paNode(pa)).store.fill(paOffset(pa), value, len);
-}
-
-std::uint8_t *
-MemSystem::pageSpan(Addr pa, std::uint64_t len)
-{
-    return node(paNode(pa)).store.hostSpan(paOffset(pa), len);
 }
 
 Tick

@@ -115,8 +115,22 @@ class MemSystem
     /// @name Topology.
     /// @{
     std::size_t nodeCount() const { return nodes.size(); }
-    MemNode &node(int id);
-    const MemNode &node(int id) const;
+
+    MemNode &
+    node(int id)
+    {
+        panic_if(id < 0 || static_cast<std::size_t>(id) >= nodes.size(),
+                 "bad node id %d", id);
+        return *nodes[static_cast<std::size_t>(id)];
+    }
+
+    const MemNode &
+    node(int id) const
+    {
+        panic_if(id < 0 || static_cast<std::size_t>(id) >= nodes.size(),
+                 "bad node id %d", id);
+        return *nodes[static_cast<std::size_t>(id)];
+    }
 
     /** Resolve an allocation intent to a node id. */
     int nodeIdFor(MemKind intent, int requester_socket = 0) const;
@@ -130,9 +144,26 @@ class MemSystem
 
     /**
      * Host pointer to a PA range that does not cross a 2 MiB
-     * physical chunk (true for any range within one page).
+     * physical chunk (true for any range within one page). Inline —
+     * this is the per-span hop of the zero-copy data path.
      */
-    std::uint8_t *pageSpan(Addr pa, std::uint64_t len);
+    std::uint8_t *
+    pageSpan(Addr pa, std::uint64_t len)
+    {
+        return node(paNode(pa)).store.hostSpan(paOffset(pa), len);
+    }
+
+    /**
+     * Read-only variant that returns nullptr instead of
+     * materializing when the backing chunk was never written (the
+     * range reads as zeroes).
+     */
+    const std::uint8_t *
+    pageSpanIfResident(Addr pa, std::uint64_t len) const
+    {
+        return node(paNode(pa))
+            .store.hostSpanIfResident(paOffset(pa), len);
+    }
     /// @}
 
     /// @name Timing resources.

@@ -1,5 +1,7 @@
 #include "mem/page_table.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dsasim
@@ -10,39 +12,54 @@ PageTable::map(Addr va_base, Addr pa_base, std::uint64_t size)
 {
     panic_if(size == 0, "mapping of zero size at va=0x%llx",
              static_cast<unsigned long long>(va_base));
-    // Check the neighbors for overlap.
-    auto next = table.lower_bound(va_base);
+    auto next = std::lower_bound(
+        table.begin(), table.end(), va_base,
+        [](const Mapping &m, Addr va) { return m.vaBase < va; });
     if (next != table.end()) {
-        panic_if(va_base + size > next->second.vaBase,
+        panic_if(va_base + size > next->vaBase,
                  "overlapping mapping at va=0x%llx",
                  static_cast<unsigned long long>(va_base));
     }
     if (next != table.begin()) {
         auto prev = std::prev(next);
-        panic_if(prev->second.vaBase + prev->second.size > va_base,
+        panic_if(prev->vaBase + prev->size > va_base,
                  "overlapping mapping at va=0x%llx",
                  static_cast<unsigned long long>(va_base));
     }
-    table.emplace(va_base, Mapping{va_base, pa_base, size, true});
+    // Insertion may shift or reallocate the table; drop the cache
+    // (and with it any outstanding find() pointers).
+    lastIdx = noCache;
+    prevIdx = noCache;
+    table.insert(next, Mapping{va_base, pa_base, size, true});
 }
 
-std::optional<PageTable::Mapping>
-PageTable::lookup(Addr va) const
+const PageTable::Mapping *
+PageTable::findSlow(Addr va) const
 {
-    auto it = table.upper_bound(va);
-    if (it == table.begin())
-        return std::nullopt;
-    --it;
-    const Mapping &m = it->second;
-    if (va < m.vaBase || va >= m.vaBase + m.size)
-        return std::nullopt;
-    return m;
+    // Branch-light binary search for the last mapping with
+    // vaBase <= va (upper_bound, then step back).
+    const Mapping *base = table.data();
+    std::size_t len = table.size();
+    while (len > 0) {
+        std::size_t half = len / 2;
+        const bool below = base[half].vaBase <= va;
+        base = below ? base + half + 1 : base;
+        len = below ? len - half - 1 : half;
+    }
+    if (base == table.data())
+        return nullptr;
+    const Mapping &m = *(base - 1);
+    if (va - m.vaBase >= m.size)
+        return nullptr;
+    prevIdx = lastIdx;
+    lastIdx = static_cast<std::size_t>(&m - table.data());
+    return &m;
 }
 
 Addr
 PageTable::translateOrDie(Addr va) const
 {
-    auto m = lookup(va);
+    const Mapping *m = find(va);
     panic_if(!m, "translation of unmapped va=0x%llx",
              static_cast<unsigned long long>(va));
     panic_if(!m->present, "translation of non-present va=0x%llx",
@@ -53,15 +70,12 @@ PageTable::translateOrDie(Addr va) const
 void
 PageTable::setPresent(Addr va, bool present)
 {
-    auto it = table.upper_bound(va);
-    panic_if(it == table.begin(), "setPresent on unmapped va=0x%llx",
+    // find() shares the bounds logic; the present bit is flipped in
+    // place, so cached find() pointers observe it immediately.
+    const Mapping *m = find(va);
+    panic_if(!m, "setPresent on unmapped va=0x%llx",
              static_cast<unsigned long long>(va));
-    --it;
-    Mapping &m = it->second;
-    panic_if(va < m.vaBase || va >= m.vaBase + m.size,
-             "setPresent on unmapped va=0x%llx",
-             static_cast<unsigned long long>(va));
-    m.present = present;
+    const_cast<Mapping *>(m)->present = present;
 }
 
 } // namespace dsasim

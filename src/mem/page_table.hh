@@ -3,14 +3,24 @@
  * Per-PASID page table: virtual page -> physical page mappings at
  * either 4 KiB or 2 MiB granularity, with a present bit so tests can
  * exercise the device page-fault path (DSA block-on-fault semantics).
+ *
+ * Storage is a sorted vector of non-overlapping mappings searched
+ * with a branch-light binary search, fronted by a two-entry
+ * last-mapping cache (copies alternate between a source and a
+ * destination mapping) with sequential-next probes (streams walk
+ * pages in order): the functional data path translates every page
+ * it touches, and nearly all of those lookups resolve in a couple
+ * of compares. find() returns a pointer into the table so the
+ * present bit is always read fresh; the pointer (and the cache) is
+ * invalidated by the next map() call.
  */
 
 #ifndef DSASIM_MEM_PAGE_TABLE_HH
 #define DSASIM_MEM_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "mem/types.hh"
 
@@ -32,11 +42,53 @@ class PageTable
     void map(Addr va_base, Addr pa_base, std::uint64_t size);
 
     /**
+     * O(1)-amortized translation fast path. Returns the mapping
+     * holding @p va or nullptr if unmapped; a mapping with
+     * present == false is returned as-is. The pointer stays valid
+     * until the next map() call (setPresent mutates in place and
+     * does not invalidate it). Inline: this is the innermost hop of
+     * every functional access.
+     */
+    const Mapping *
+    find(Addr va) const
+    {
+        const Mapping *t = table.data();
+        const std::size_t n = table.size();
+        // (va - vaBase) underflows to a huge value when va < vaBase,
+        // so one comparison covers both bounds. noCache + 1 wraps to
+        // index 0 — a harmless extra probe while cold.
+        auto probe = [&](std::size_t i) {
+            return i < n && va - t[i].vaBase < t[i].size;
+        };
+        if (probe(lastIdx))
+            return &t[lastIdx];
+        std::size_t hit;
+        if (probe(lastIdx + 1))
+            hit = lastIdx + 1;
+        else if (probe(prevIdx))
+            hit = prevIdx;
+        else if (probe(prevIdx + 1))
+            hit = prevIdx + 1;
+        else
+            return findSlow(va);
+        prevIdx = lastIdx;
+        lastIdx = hit;
+        return &t[hit];
+    }
+
+    /**
      * Translate @p va. Returns nullopt if unmapped. A mapping with
      * present == false is returned as-is; callers decide whether to
      * fault or fail.
      */
-    std::optional<Mapping> lookup(Addr va) const;
+    std::optional<Mapping>
+    lookup(Addr va) const
+    {
+        const Mapping *m = find(va);
+        if (!m)
+            return std::nullopt;
+        return *m;
+    }
 
     /** Functional VA->PA for a mapped, present address. */
     Addr translateOrDie(Addr va) const;
@@ -47,8 +99,16 @@ class PageTable
     std::size_t mappingCount() const { return table.size(); }
 
   private:
-    // Keyed by vaBase; mappings never overlap.
-    std::map<Addr, Mapping> table;
+    static constexpr std::size_t noCache = ~std::size_t{0};
+
+    /** Cache-miss path: binary search, then refresh the cache. */
+    const Mapping *findSlow(Addr va) const;
+
+    // Sorted by vaBase; mappings never overlap.
+    std::vector<Mapping> table;
+    // Two most recently found mappings (noCache when cold).
+    mutable std::size_t lastIdx = noCache;
+    mutable std::size_t prevIdx = noCache;
 };
 
 } // namespace dsasim

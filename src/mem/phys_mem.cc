@@ -15,13 +15,16 @@ PhysicalMemory::chunkFor(Addr pa)
              static_cast<unsigned long long>(pa),
              static_cast<unsigned long long>(capacity));
     std::uint64_t idx = pa >> chunkShift;
+    if (std::uint8_t *c = cachedFor(idx))
+        return c;
     auto it = chunks.find(idx);
     if (it == chunks.end()) {
         auto mem = std::make_unique<std::uint8_t[]>(chunkSize);
         std::memset(mem.get(), 0, chunkSize);
         it = chunks.emplace(idx, std::move(mem)).first;
     }
-    return it->second.get();
+    cacheInsert(idx, it->second.get());
+    return cachedChunk;
 }
 
 const std::uint8_t *
@@ -32,8 +35,16 @@ PhysicalMemory::chunkForConst(Addr pa) const
              static_cast<unsigned long long>(pa),
              static_cast<unsigned long long>(capacity));
     std::uint64_t idx = pa >> chunkShift;
+    if (const std::uint8_t *c = cachedFor(idx))
+        return c;
     auto it = chunks.find(idx);
-    return it == chunks.end() ? nullptr : it->second.get();
+    if (it == chunks.end()) {
+        // Not materialized; don't cache the miss — a later chunkFor
+        // on this index must still materialize it.
+        return nullptr;
+    }
+    cacheInsert(idx, it->second.get());
+    return cachedChunk;
 }
 
 void
@@ -80,31 +91,6 @@ PhysicalMemory::fill(Addr pa, std::uint8_t value, std::uint64_t len)
         pa += run;
         len -= run;
     }
-}
-
-std::uint8_t *
-PhysicalMemory::hostSpan(Addr pa, std::uint64_t len)
-{
-    std::uint64_t off = pa & chunkMask;
-    panic_if(off + len > chunkSize,
-             "hostSpan crosses a chunk boundary (pa=0x%llx len=%llu)",
-             static_cast<unsigned long long>(pa),
-             static_cast<unsigned long long>(len));
-    return chunkFor(pa) + off;
-}
-
-const std::uint8_t *
-PhysicalMemory::hostSpan(Addr pa, std::uint64_t len) const
-{
-    std::uint64_t off = pa & chunkMask;
-    panic_if(off + len > chunkSize,
-             "hostSpan crosses a chunk boundary (pa=0x%llx len=%llu)",
-             static_cast<unsigned long long>(pa),
-             static_cast<unsigned long long>(len));
-    const std::uint8_t *c = chunkForConst(pa);
-    panic_if(!c, "const hostSpan of untouched memory (pa=0x%llx)",
-             static_cast<unsigned long long>(pa));
-    return c + off;
 }
 
 } // namespace dsasim

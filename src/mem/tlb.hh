@@ -31,7 +31,15 @@ class TranslationCache
     bool
     lookup(Pasid pasid, Addr va_page_base)
     {
-        auto it = index.find(key(pasid, va_page_base));
+        std::uint64_t k = key(pasid, va_page_base);
+        // Streaming accesses hit the same page back to back; the
+        // MRU entry is already at the front, so the splice (and the
+        // hash probe) can be skipped without changing LRU order.
+        if (!lru.empty() && lru.front() == k) {
+            ++hitCount;
+            return true;
+        }
+        auto it = index.find(k);
         if (it == index.end()) {
             ++missCount;
             return false;
@@ -46,6 +54,8 @@ class TranslationCache
     insert(Pasid pasid, Addr va_page_base)
     {
         std::uint64_t k = key(pasid, va_page_base);
+        if (!lru.empty() && lru.front() == k)
+            return;
         auto it = index.find(k);
         if (it != index.end()) {
             lru.splice(lru.begin(), lru, it->second);

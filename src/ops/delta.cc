@@ -65,4 +65,23 @@ deltaApply(std::uint8_t *buffer, std::size_t len,
     return true;
 }
 
+bool
+deltaRecordValid(const std::uint8_t *record, std::size_t record_len,
+                 std::size_t len, bool skip_out_of_range)
+{
+    if (record_len % deltaEntryBytes != 0)
+        return false;
+    if (skip_out_of_range)
+        return true; // out-of-range entries are skipped, not errors
+    for (std::size_t i = 0; i < record_len; i += deltaEntryBytes) {
+        std::uint16_t off = static_cast<std::uint16_t>(
+            record[i] | (record[i + 1] << 8));
+        std::size_t byte_off =
+            static_cast<std::size_t>(off) * deltaWordBytes;
+        if (byte_off + deltaWordBytes > len)
+            return false;
+    }
+    return true;
+}
+
 } // namespace dsasim

@@ -60,6 +60,16 @@ bool deltaApply(std::uint8_t *buffer, std::size_t len,
                 const std::uint8_t *record, std::size_t record_len,
                 bool skip_out_of_range = false);
 
+/**
+ * Would deltaApply succeed? Same malformed-record rules, no writes.
+ * In-place (zero-copy) application validates with this first so a
+ * malformed record leaves the destination untouched, exactly like
+ * the copy-in/apply/copy-out path did.
+ */
+bool deltaRecordValid(const std::uint8_t *record,
+                      std::size_t record_len, std::size_t len,
+                      bool skip_out_of_range = false);
+
 } // namespace dsasim
 
 #endif // DSASIM_OPS_DELTA_HH

@@ -1,0 +1,227 @@
+#include "ops/span_kernels.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "ops/crc32.hh"
+
+namespace dsasim
+{
+
+namespace
+{
+
+/** Zero source for never-written (sparse) spans. */
+constexpr std::uint64_t zeroBytes = 1ull << 16;
+alignas(64) const std::uint8_t kZeros[zeroBytes] = {};
+
+using Span = AddressSpace::Span;
+using ConstSpan = AddressSpace::ConstSpan;
+
+std::uint32_t
+zeroCrc(std::uint32_t crc, std::uint64_t len)
+{
+    while (len > 0) {
+        std::uint64_t run = std::min(len, zeroBytes);
+        crc = crc32c(kZeros, run, crc);
+        len -= run;
+    }
+    return crc;
+}
+
+/** Offset of the first differing byte, or @p n when equal. */
+std::uint64_t
+firstDiff(const std::uint8_t *a, const std::uint8_t *b,
+          std::uint64_t n)
+{
+    constexpr std::uint64_t blk = 4096;
+    for (std::uint64_t off = 0; off < n; off += blk) {
+        std::uint64_t run = std::min(blk, n - off);
+        if (std::memcmp(a + off, b + off, run) != 0) {
+            for (std::uint64_t i = 0; i < run; ++i) {
+                if (a[off + i] != b[off + i])
+                    return off + i;
+            }
+        }
+    }
+    return n;
+}
+
+/** Offset of the first non-zero byte, or @p n when all zero. */
+std::uint64_t
+firstNonZero(const std::uint8_t *p, std::uint64_t n)
+{
+    for (std::uint64_t off = 0; off < n; off += zeroBytes) {
+        std::uint64_t run = std::min(n - off, zeroBytes);
+        if (std::memcmp(p + off, kZeros, run) != 0) {
+            for (std::uint64_t i = 0; i < run; ++i) {
+                if (p[off + i])
+                    return off + i;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+std::uint32_t
+spanCrc(const AddressSpace &as, Addr src, std::uint64_t len,
+        std::uint32_t crc)
+{
+    as.forEachConstSpan(src, len, "read", [&](ConstSpan s) {
+        crc = s.ptr ? crc32c(s.ptr, s.len, crc) : zeroCrc(crc, s.len);
+    });
+    return crc;
+}
+
+std::uint32_t
+spanCopyCrc(AddressSpace &as, Addr dst, Addr src, std::uint64_t len,
+            std::uint32_t crc)
+{
+    // write()/fill() resolve the destination spans themselves, so
+    // each source span moves with a single memcpy/memset — no
+    // staging buffer.
+    std::uint64_t off = 0;
+    as.forEachConstSpan(src, len, "read", [&](ConstSpan s) {
+        if (s.ptr) {
+            crc = crc32c(s.ptr, s.len, crc);
+            as.write(dst + off, s.ptr, s.len);
+        } else {
+            crc = zeroCrc(crc, s.len);
+            as.fill(dst + off, 0, s.len);
+        }
+        off += s.len;
+    });
+    return crc;
+}
+
+void
+spanFillPattern(AddressSpace &as, Addr dst, std::uint64_t len,
+                std::uint64_t lo, std::uint64_t hi, unsigned pat_bytes)
+{
+    std::uint8_t pat[16];
+    std::memcpy(pat, &lo, 8);
+    std::memcpy(pat + 8, &hi, 8);
+    std::uint64_t off = 0;
+    as.forEachSpan(dst, len, "write", [&](Span s) {
+        std::uint8_t *p = s.ptr;
+        std::uint64_t n = s.len;
+        // Destination byte (off + i) carries pattern byte
+        // (off + i) % pat_bytes, no matter how the range splits
+        // into spans.
+        unsigned phase = static_cast<unsigned>(off % pat_bytes);
+        off += n;
+        while (phase != 0 && n > 0) {
+            *p++ = pat[phase];
+            phase = (phase + 1) % pat_bytes;
+            --n;
+        }
+        if (n == 0)
+            return;
+        // Seed one pattern, then double the filled prefix.
+        std::uint64_t filled = std::min<std::uint64_t>(n, pat_bytes);
+        std::memcpy(p, pat, filled);
+        while (filled < n) {
+            std::uint64_t cpy = std::min(filled, n - filled);
+            std::memcpy(p + filled, p, cpy);
+            filled += cpy;
+        }
+    });
+}
+
+std::uint64_t
+spanCompare(const AddressSpace &as, Addr a, Addr b, std::uint64_t len)
+{
+    if (len == 0)
+        return 0;
+    std::vector<ConstSpan> sa, sb;
+    as.resolveConstSpans(a, len, sa, "read");
+    as.resolveConstSpans(b, len, sb, "read");
+
+    std::size_t ia = 0, ib = 0;
+    std::uint64_t oa = 0, ob = 0; // consumed within current spans
+    std::uint64_t off = 0;
+    while (off < len) {
+        const ConstSpan &sA = sa[ia];
+        const ConstSpan &sB = sb[ib];
+        std::uint64_t run = std::min(sA.len - oa, sB.len - ob);
+        const std::uint8_t *pa = sA.ptr ? sA.ptr + oa : nullptr;
+        const std::uint8_t *pb = sB.ptr ? sB.ptr + ob : nullptr;
+        std::uint64_t d;
+        if (pa && pb)
+            d = firstDiff(pa, pb, run);
+        else if (pa)
+            d = firstNonZero(pa, run);
+        else if (pb)
+            d = firstNonZero(pb, run);
+        else
+            d = run; // both never written: equal zeroes
+        if (d < run)
+            return off + d;
+        off += run;
+        oa += run;
+        ob += run;
+        if (oa == sA.len) {
+            ++ia;
+            oa = 0;
+        }
+        if (ob == sB.len) {
+            ++ib;
+            ob = 0;
+        }
+    }
+    return len;
+}
+
+std::uint64_t
+spanComparePattern(const AddressSpace &as, Addr a, std::uint64_t len,
+                   std::uint64_t pattern)
+{
+    if (len == 0)
+        return 0;
+    std::uint8_t pat[8];
+    std::memcpy(pat, &pattern, 8);
+    // Pre-expanded tile so runs compare with memcmp at any phase.
+    constexpr std::uint64_t tileBytes = 4096;
+    alignas(8) std::uint8_t tile[tileBytes];
+    std::memcpy(tile, pat, 8);
+    for (std::uint64_t filled = 8; filled < tileBytes; filled *= 2)
+        std::memcpy(tile + filled,
+                    tile, std::min(filled, tileBytes - filled));
+
+    std::vector<ConstSpan> ss;
+    as.resolveConstSpans(a, len, ss, "read");
+    std::uint64_t off = 0;
+    for (const ConstSpan &s : ss) {
+        const unsigned phase = static_cast<unsigned>(off % 8);
+        if (!s.ptr) {
+            // Zeroes mismatch a non-zero pattern within 8 bytes.
+            std::uint64_t lim = std::min<std::uint64_t>(s.len, 8);
+            for (std::uint64_t i = 0; i < lim; ++i) {
+                if (pat[(phase + i) & 7] != 0)
+                    return off + i;
+            }
+        } else {
+            std::uint64_t done = 0;
+            while (done < s.len) {
+                unsigned ph =
+                    static_cast<unsigned>((phase + done) & 7);
+                std::uint64_t run =
+                    std::min(s.len - done, tileBytes - ph);
+                if (std::memcmp(s.ptr + done, tile + ph, run) != 0) {
+                    for (std::uint64_t i = 0; i < run; ++i) {
+                        if (s.ptr[done + i] != tile[ph + i])
+                            return off + done + i;
+                    }
+                }
+                done += run;
+            }
+        }
+        off += s.len;
+    }
+    return len;
+}
+
+} // namespace dsasim

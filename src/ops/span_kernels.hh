@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Span-native data-operation kernels.
+ *
+ * These run the DSA opcode data planes (and their software
+ * equivalents) directly on the host memory backing an AddressSpace,
+ * via the zero-copy span API, instead of bouncing every chunk
+ * through a scratch buffer. They are purely functional — byte
+ * movement only, no timing — and preserve the exact observable
+ * semantics of the scratch-based loops they replaced:
+ *
+ *  - compare kernels report the offset of the *first* mismatching
+ *    byte;
+ *  - pattern kernels derive the pattern phase from the offset
+ *    relative to the start of the transfer;
+ *  - never-written (sparse) source ranges read as zeroes without
+ *    materializing backing.
+ *
+ * Overlap-sensitive cases (e.g. a CopyCrc whose source and
+ * destination alias) are the caller's responsibility: callers keep
+ * the legacy chunk order for those, because the result genuinely
+ * depends on copy order.
+ */
+
+#ifndef DSASIM_OPS_SPAN_KERNELS_HH
+#define DSASIM_OPS_SPAN_KERNELS_HH
+
+#include <cstdint>
+
+#include "mem/address_space.hh"
+
+namespace dsasim
+{
+
+/** Do [a, a+alen) and [b, b+blen) share any byte? */
+constexpr bool
+rangesOverlap(Addr a, std::uint64_t alen, Addr b, std::uint64_t blen)
+{
+    return a < b + blen && b < a + alen;
+}
+
+/**
+ * Accumulate CRC-32C over [src, src+len). @p crc is the running
+ * state (descriptor seed); finalize with crc32cFinish.
+ */
+std::uint32_t spanCrc(const AddressSpace &as, Addr src,
+                      std::uint64_t len, std::uint32_t crc);
+
+/**
+ * Copy src -> dst while accumulating CRC-32C of the source.
+ * Requires non-overlapping ranges.
+ */
+std::uint32_t spanCopyCrc(AddressSpace &as, Addr dst, Addr src,
+                          std::uint64_t len, std::uint32_t crc);
+
+/**
+ * Fill [dst, dst+len) with an 8- or 16-byte repeating pattern
+ * (@p pat_bytes selects). Byte i of the destination receives pattern
+ * byte i % pat_bytes, matching DSA's Fill operation.
+ */
+void spanFillPattern(AddressSpace &as, Addr dst, std::uint64_t len,
+                     std::uint64_t lo, std::uint64_t hi,
+                     unsigned pat_bytes);
+
+/**
+ * Compare two ranges. Returns the offset of the first mismatching
+ * byte, or @p len when equal.
+ */
+std::uint64_t spanCompare(const AddressSpace &as, Addr a, Addr b,
+                          std::uint64_t len);
+
+/**
+ * Compare [a, a+len) against a repeating 8-byte pattern. Returns
+ * the offset of the first mismatching byte, or @p len when equal.
+ */
+std::uint64_t spanComparePattern(const AddressSpace &as, Addr a,
+                                 std::uint64_t len,
+                                 std::uint64_t pattern);
+
+} // namespace dsasim
+
+#endif // DSASIM_OPS_SPAN_KERNELS_HH
