@@ -43,8 +43,10 @@ class InlineCallback
             ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
             vt = &inlineVt<Fn>;
         } else {
+            // Deliberate heap fallback for oversized captures; the
+            // hot path (small captures) stays inline.
             ::new (static_cast<void *>(buf))
-                void *(new Fn(std::forward<F>(f)));
+                void *(new Fn(std::forward<F>(f))); // simlint:allow(raw-alloc)
             vt = &heapVt<Fn>;
         }
     }
@@ -165,7 +167,8 @@ class InlineCallback
         // trivial memcpy path covers it.
         nullptr,
         [](void *p) noexcept {
-            delete static_cast<Fn *>(
+            // Owning release of the heap-fallback cell above.
+            delete static_cast<Fn *>( // simlint:allow(raw-alloc)
                 *std::launder(reinterpret_cast<void **>(p)));
         },
     };

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,7 +10,9 @@ namespace dsasim
 
 namespace
 {
-bool quietMode = false;
+// Atomic so SweepRunner workers can emit warn()/inform() while
+// another thread toggles quiet mode (TSan-clean by construction).
+std::atomic<bool> quietMode{false};
 } // namespace
 
 std::string
@@ -50,21 +53,21 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!quietMode)
+    if (!quietMode.load(std::memory_order_relaxed))
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietMode)
+    if (!quietMode.load(std::memory_order_relaxed))
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
 }
 
 } // namespace dsasim

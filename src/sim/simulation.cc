@@ -150,6 +150,8 @@ Simulation::step(Tick horizon)
     currentTick = k.when;
     ++executedCount;
     --pendingCount;
+    if (hashEnabled) [[unlikely]]
+        mixStreamHash(k.when, k.seq);
     // Lift the payload out of the slot and recycle it before
     // dispatching: the callback may push new events, and the LIFO
     // freelist hands it this still-cache-warm slot first.

@@ -104,6 +104,19 @@ class Simulation
     /** Number of events executed so far (for tests/telemetry). */
     std::uint64_t eventsExecuted() const { return executedCount; }
 
+    /**
+     * When enabled, every executed event folds its (when, seq) pair
+     * into a running FNV-1a fingerprint of the event stream. Two runs
+     * of the same scenario must produce identical fingerprints —
+     * tools/determinism_check gates on this, end-to-end testing the
+     * invariant simlint enforces statically (DESIGN.md §9). Off by
+     * default: the hot dispatch loop pays only an untaken branch.
+     */
+    void enableStreamHash(bool on) { hashEnabled = on; }
+
+    /** Current event-stream fingerprint (see enableStreamHash). */
+    std::uint64_t streamHash() const { return hashState; }
+
     /** True if no events are pending. */
     bool idle() const { return pendingCount == 0; }
 
@@ -252,6 +265,19 @@ class Simulation
     /** Keys of events beyond the calendar window, (when, seq)
      * min-heap. */
     std::vector<Key> overflowKeys;
+
+    /** Fold one executed event into the stream fingerprint. */
+    void
+    mixStreamHash(Tick when, std::uint64_t seq)
+    {
+        std::uint64_t h = hashState;
+        h = (h ^ when) * 0x100000001b3ull;
+        h = (h ^ seq) * 0x100000001b3ull;
+        hashState = h;
+    }
+
+    bool hashEnabled = false;
+    std::uint64_t hashState = 0xcbf29ce484222325ull;
 
     Tick currentTick = 0;
     /** Inclusive upper bound of the ticks covered by the stage. */

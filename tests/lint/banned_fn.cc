@@ -1,0 +1,11 @@
+// Fixture: banned-fn rule (applies everywhere, no --treat-as
+// needed).
+#include <cstdio>
+#include <cstring>
+
+void
+format(char *dst, const char *src)
+{
+    strcpy(dst, src);
+    sprintf(dst, "%s", src);
+}

@@ -1,0 +1,33 @@
+# Driver for one simlint fixture test: runs simlint on INPUT (from
+# the fixture directory, so paths in diagnostics are relative) and
+# asserts the stdout matches EXPECTED byte-for-byte and the exit
+# status matches WANT_EXIT.
+#
+#   cmake -DSIMLINT=... -DFIXTURE_DIR=... -DINPUT=... -DEXPECTED=...
+#         [-DTREAT_AS=...] -DWANT_EXIT=0|1 -P check_case.cmake
+
+if(TREAT_AS)
+    set(extra_args "--treat-as=${TREAT_AS}")
+else()
+    set(extra_args "")
+endif()
+
+execute_process(
+    COMMAND ${SIMLINT} ${extra_args} ${INPUT}
+    WORKING_DIRECTORY ${FIXTURE_DIR}
+    OUTPUT_VARIABLE got
+    ERROR_VARIABLE got_err
+    RESULT_VARIABLE status)
+
+file(READ ${FIXTURE_DIR}/${EXPECTED} want)
+
+if(NOT status EQUAL WANT_EXIT)
+    message(FATAL_ERROR
+        "simlint ${INPUT}: exit ${status}, expected ${WANT_EXIT}\n"
+        "stdout:\n${got}\nstderr:\n${got_err}")
+endif()
+if(NOT got STREQUAL want)
+    message(FATAL_ERROR
+        "simlint ${INPUT}: diagnostic output mismatch\n"
+        "--- expected ---\n${want}\n--- got ---\n${got}")
+endif()

@@ -1,0 +1,40 @@
+# Driver for the simlint --fix test: copies the wrong-guard fixture
+# into the build tree, applies --fix, and asserts the guard rename
+# leaves only the (non-mechanical) "../" include diagnostic behind.
+#
+#   cmake -DSIMLINT=... -DFIXTURE_DIR=... -DWORK_DIR=...
+#         -P check_fix.cmake
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+configure_file(${FIXTURE_DIR}/include_hygiene.hh
+               ${WORK_DIR}/include_hygiene.hh COPYONLY)
+
+execute_process(
+    COMMAND ${SIMLINT} --fix --treat-as=src/sim/include_hygiene.hh
+            include_hygiene.hh
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_VARIABLE got
+    RESULT_VARIABLE status)
+
+file(READ ${WORK_DIR}/include_hygiene.hh fixed)
+if(NOT fixed MATCHES "#ifndef DSASIM_SIM_INCLUDE_HYGIENE_HH")
+    message(FATAL_ERROR
+        "--fix did not rewrite the #ifndef guard:\n${fixed}")
+endif()
+if(NOT fixed MATCHES "#define DSASIM_SIM_INCLUDE_HYGIENE_HH")
+    message(FATAL_ERROR
+        "--fix did not rewrite the #define guard:\n${fixed}")
+endif()
+if(NOT fixed MATCHES "#endif // DSASIM_SIM_INCLUDE_HYGIENE_HH")
+    message(FATAL_ERROR
+        "--fix did not rewrite the #endif comment:\n${fixed}")
+endif()
+if(got MATCHES "include guard")
+    message(FATAL_ERROR
+        "guard diagnostic still reported after --fix:\n${got}")
+endif()
+if(NOT got MATCHES "parent-relative")
+    message(FATAL_ERROR
+        "expected the non-mechanical ../ diagnostic to remain:\n"
+        "${got}")
+endif()

@@ -1,0 +1,11 @@
+// Fixture: entropy rule. Linted as if at src/dsa/entropy.cc.
+#include <cstdlib>
+#include <random>
+
+int
+hostEntropy()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return rand() + static_cast<int>(gen());
+}

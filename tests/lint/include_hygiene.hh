@@ -1,0 +1,15 @@
+// Fixture: include-hygiene rule. Linted as if at
+// src/sim/include_hygiene.hh (expected guard
+// DSASIM_SIM_INCLUDE_HYGIENE_HH).
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+#include "../mem/types.hh"
+
+inline int
+answer()
+{
+    return 42;
+}
+
+#endif // WRONG_GUARD_HH

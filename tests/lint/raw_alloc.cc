@@ -1,0 +1,22 @@
+// Fixture: raw-alloc rule. Linted as if at src/sim/raw_alloc.cc.
+#include <cstdlib>
+#include <new>
+
+struct Cell
+{
+    Cell() = default;
+    Cell(const Cell &) = delete; // deleted fn, not a deallocation
+    int v = 0;
+};
+
+int
+churn(void *slot)
+{
+    Cell *c = new Cell;            // heap allocation in the hot path
+    Cell *p = ::new (slot) Cell(); // placement new stays legal
+    int v = c->v + p->v;
+    delete c;
+    void *raw = std::malloc(16);
+    std::free(raw);
+    return v;
+}

@@ -1,0 +1,27 @@
+// Fixture: every rule fires here, and every instance carries a
+// simlint:allow suppression — expected output is empty, exit 0.
+// Linted as if at src/sim/suppressed.cc.
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <unordered_map>
+
+// simlint:allow(volatile-sync)
+volatile bool gate = false;
+
+long
+everything(char *dst, const char *src)
+{
+    long t = time(nullptr); // simlint:allow(wall-clock)
+    int e = rand();         // simlint:allow(entropy)
+    int *p = new int(3);    // simlint:allow(raw-alloc)
+    std::unordered_map<int, int> m;
+    long total = 0;
+    // simlint:allow(unordered-iter)
+    for (const auto &kv : m)
+        total += kv.second;
+    strcpy(dst, src); // simlint:allow(banned-fn)
+    total += t + e + *p;
+    delete p; // simlint:allow(raw-alloc)
+    return total + static_cast<long>(gate);
+}

@@ -1,0 +1,20 @@
+// Fixture: unordered-iter rule. Linted as if at
+// src/mem/unordered_iter.cc.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t
+sumAll(const std::unordered_map<int, std::uint64_t> &other)
+{
+    std::unordered_map<int, std::uint64_t> lines;
+    std::uint64_t total = 0;
+    for (const auto &kv : lines) // order is unspecified
+        total += kv.second;
+    for (auto it = lines.begin(); it != lines.end(); ++it)
+        total += it->second;
+    // Keyed lookups stay legal: find()/end() is the sentinel idiom.
+    auto it = lines.find(3);
+    if (it != lines.end())
+        total += it->second;
+    return total + other.size();
+}

@@ -1,0 +1,9 @@
+// Fixture: volatile-sync rule (applies everywhere).
+volatile bool ready = false;
+
+void
+spin()
+{
+    while (!ready) {
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock rule. Linted as if at src/sim/wall_clock.cc.
+#include <chrono>
+#include <ctime>
+
+long
+hostTime()
+{
+    auto t = std::chrono::system_clock::now();
+    long s = time(nullptr);
+    return s + std::chrono::steady_clock::now().time_since_epoch().count() +
+           t.time_since_epoch().count();
+}

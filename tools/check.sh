@@ -1,7 +1,10 @@
 #!/bin/sh
-# Full verification sweep: a Release build + test run, then an
-# ASan/UBSan build + test run. Run from anywhere; builds land in
-# build-release/ and build-sanitize/ next to the sources.
+# Full verification sweep: a Release build + test run, the static-
+# analysis gates (simlint, clang-tidy, clang-format when available),
+# an end-to-end determinism check, an ASan/UBSan build + test run,
+# and a TSan build of the thread-pool sweep tests. Run from anywhere;
+# builds land in build-release/, build-sanitize/ and build-tsan/ next
+# to the sources.
 #
 #   tools/check.sh [extra ctest args...]
 set -eu
@@ -19,6 +22,19 @@ run() {
 echo "== Release build + tests =="
 run build-release -DCMAKE_BUILD_TYPE=Release
 
+echo "== Static analysis: simlint =="
+"$root/build-release/tools/simlint" \
+    "$root/src" "$root/bench" "$root/tools"
+
+echo "== Static analysis: clang-tidy + clang-format (if present) =="
+cmake --build "$root/build-release" --target dsasim-tidy
+cmake --build "$root/build-release" --target dsasim-format-check
+
+echo "== Determinism check (event-stream hash, two runs) =="
+"$root/build-release/tools/determinism_check" --n=2000 --seed=1
+"$root/build-release/tools/determinism_check" --n=2000 --seed=1 \
+    --faults='page-fault:p=0.05;hang:every=701;wq-reject:p=0.01'
+
 echo "== ASan/UBSan build + tests =="
 # Leak checking stays off: SimTask coroutines are fire-and-forget by
 # design (sim/task.hh), so tearing a platform down mid-run abandons
@@ -26,6 +42,13 @@ echo "== ASan/UBSan build + tests =="
 export ASAN_OPTIONS="detect_leaks=0${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
 run build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDSASIM_SANITIZE=address,undefined
+
+echo "== TSan build + sweep tests =="
+cmake -B "$root/build-tsan" -S "$root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDSASIM_SANITIZE=thread >/dev/null
+cmake --build "$root/build-tsan" -j "$(nproc)" --target test_sweep
+"$root/build-tsan/tests/test_sweep"
 
 echo "== Event-kernel self-benchmark =="
 "$root/build-release/bench/bench_simhost" \

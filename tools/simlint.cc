@@ -1,0 +1,969 @@
+/**
+ * @file
+ * simlint — the dsasim determinism linter.
+ *
+ * A standalone token-level checker (no libclang) that enforces the
+ * project rules that make the simulator bit-deterministic: figure
+ * CSVs and chaos-soak replay hashes are only reproducible because sim
+ * code never consults host time, host entropy, or unordered-container
+ * iteration order. The rules (see DESIGN.md §9, "Determinism
+ * contract"):
+ *
+ *   wall-clock      no host time sources (std::chrono clocks, time(),
+ *                   clock_gettime(), ...) in tick-affecting code
+ *                   (src/sim, src/dsa, src/mem); simulated time comes
+ *                   from Simulation::now().
+ *   entropy         no host entropy (rand(), std::random_device,
+ *                   std::mt19937, ...) in tick-affecting code outside
+ *                   sim/random.hh; use dsasim::Rng with an explicit
+ *                   seed.
+ *   unordered-iter  no range-for / begin()/end() iteration over
+ *                   std::unordered_map / std::unordered_set in
+ *                   tick-affecting code — iteration order is
+ *                   unspecified and silently reorders events between
+ *                   runs or standard libraries. Keyed lookups
+ *                   (find/count/operator[]) are fine.
+ *   raw-alloc       no raw new/delete/malloc in tick-affecting code;
+ *                   use the event arena, InlineCallback SBO,
+ *                   containers, or smart pointers (placement new is
+ *                   allowed — it is how the arenas are built).
+ *   banned-fn       no unbounded C string functions (strcpy, strcat,
+ *                   sprintf, vsprintf, gets) anywhere.
+ *   volatile-sync   no 'volatile' anywhere — it is not a
+ *                   synchronization primitive; use std::atomic or the
+ *                   kernel's deterministic event order.
+ *   include-hygiene headers carry a DSASIM_<PATH>_HH include guard
+ *                   matching their path, and no #include crosses a
+ *                   parent directory ("../").
+ *
+ * Suppressions: `// simlint:allow(rule)` (comma-separated list) on
+ * the offending line, or on its own line to cover the next line.
+ *
+ * Usage: simlint [--fix] [--list-rules] [--treat-as=PATH] PATH...
+ *   PATH        files or directories (recursed: .cc/.hh/.cpp/.h)
+ *   --treat-as  classify the single input file as if it lived at the
+ *               given repo-relative path (used by the fixture tests)
+ *   --fix       apply mechanical fixes in place (include-guard
+ *               renames); other rules print a `note:` suggestion only
+ *
+ * Exit status: 0 clean, 1 diagnostics were reported, 2 usage error.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct Diagnostic
+{
+    std::string path;
+    int line = 0;
+    int col = 0;
+    std::string rule;
+    std::string message;
+    std::string note; ///< optional fix suggestion
+};
+
+struct Token
+{
+    std::string text;
+    int line = 0;
+    int col = 0;
+    bool isIdent = false;
+};
+
+/** Per-line rule suppressions parsed from simlint:allow comments. */
+struct Suppressions
+{
+    /// line -> rules allowed on that line
+    std::map<int, std::set<std::string>> onLine;
+
+    bool
+    allows(int line, const std::string &rule) const
+    {
+        auto it = onLine.find(line);
+        if (it == onLine.end())
+            return false;
+        return it->second.count(rule) > 0 ||
+               it->second.count("*") > 0;
+    }
+};
+
+/** A source file scanned into comment-free tokens plus raw lines. */
+struct ScannedFile
+{
+    std::string path;        ///< path used for reporting
+    std::string logicalPath; ///< path used for rule classification
+    std::vector<std::string> rawLines;
+    std::vector<Token> tokens;
+    Suppressions allow;
+};
+
+/** Parse `simlint:allow(a,b)` out of one comment's text. */
+void
+parseAllow(const std::string &comment, int line, bool commentOnly,
+           Suppressions &out)
+{
+    const std::string key = "simlint:allow(";
+    std::size_t pos = comment.find(key);
+    if (pos == std::string::npos)
+        return;
+    std::size_t open = pos + key.size();
+    std::size_t close = comment.find(')', open);
+    if (close == std::string::npos)
+        return;
+    std::stringstream list(comment.substr(open, close - open));
+    std::string rule;
+    // A comment alone on its line covers the next line; a trailing
+    // comment covers its own line.
+    const int target = commentOnly ? line + 1 : line;
+    while (std::getline(list, rule, ',')) {
+        std::size_t b = rule.find_first_not_of(" \t");
+        std::size_t e = rule.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            out.onLine[target].insert(rule.substr(b, e - b + 1));
+    }
+}
+
+/**
+ * Strip comments and string/char literal contents (preserving line
+ * structure), collect suppression comments, and tokenize.
+ */
+ScannedFile
+scanFile(const std::string &path, const std::string &logical_path,
+         const std::string &text)
+{
+    ScannedFile out;
+    out.path = path;
+    out.logicalPath = logical_path;
+
+    // Split raw lines (keeping them for --fix rewrites).
+    {
+        std::string cur;
+        for (char ch : text) {
+            if (ch == '\n') {
+                out.rawLines.push_back(cur);
+                cur.clear();
+            } else {
+                cur += ch;
+            }
+        }
+        if (!cur.empty())
+            out.rawLines.push_back(cur);
+    }
+
+    // Preprocessor lines (and their backslash continuations) are
+    // invisible to the token rules: `#include <new>` is not a raw
+    // allocation. include-hygiene reads rawLines directly.
+    std::vector<bool> ppLine(out.rawLines.size() + 1, false);
+    {
+        bool cont = false;
+        for (std::size_t li = 0; li < out.rawLines.size(); ++li) {
+            const std::string &l = out.rawLines[li];
+            std::size_t h = l.find_first_not_of(" \t");
+            if (cont || (h != std::string::npos && l[h] == '#'))
+                ppLine[li] = true;
+            cont = ppLine[li] && !l.empty() && l.back() == '\\';
+        }
+    }
+
+    // Build the code view: same length as text, comments and literal
+    // bodies blanked.
+    std::string code(text.size(), ' ');
+    enum class St
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        Str,
+        Chr,
+        RawStr
+    } st = St::Code;
+    std::string comment;     // text of the comment being scanned
+    int commentLine = 1;     // line the comment started on
+    bool lineHadCode = false;
+    std::string rawDelim;    // raw-string delimiter incl. )..."
+    int line = 1;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char n = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (st) {
+          case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::LineComment;
+                comment.clear();
+                commentLine = line;
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = St::BlockComment;
+                comment.clear();
+                commentLine = line;
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim"
+                std::size_t r = i;
+                bool raw = r > 0 && text[r - 1] == 'R' &&
+                           (r < 2 || !(std::isalnum(
+                                           static_cast<unsigned char>(
+                                               text[r - 2])) ||
+                                       text[r - 2] == '_'));
+                if (raw) {
+                    std::size_t p = i + 1;
+                    std::string d;
+                    while (p < text.size() && text[p] != '(')
+                        d += text[p++];
+                    rawDelim = ")" + d + "\"";
+                    st = St::RawStr;
+                    code[i] = '"';
+                } else {
+                    st = St::Str;
+                    code[i] = '"';
+                }
+            } else if (c == '\'') {
+                // A quote right after an alphanumeric is a digit
+                // separator (1'000) or literal suffix, not the start
+                // of a char literal.
+                if (i > 0 && std::isalnum(static_cast<unsigned char>(
+                                 text[i - 1]))) {
+                    code[i] = ' ';
+                } else {
+                    st = St::Chr;
+                    code[i] = '\'';
+                }
+            } else {
+                code[i] = c;
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    lineHadCode = true;
+            }
+            break;
+          case St::LineComment:
+            if (c == '\n') {
+                parseAllow(comment, commentLine, !lineHadCode,
+                           out.allow);
+                st = St::Code;
+            } else {
+                comment += c;
+            }
+            break;
+          case St::BlockComment:
+            if (c == '*' && n == '/') {
+                parseAllow(comment, commentLine, !lineHadCode,
+                           out.allow);
+                st = St::Code;
+                ++i;
+            } else {
+                comment += c;
+            }
+            break;
+          case St::Str:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                code[i] = '"';
+                st = St::Code;
+            }
+            break;
+          case St::Chr:
+            if (c == '\\') {
+                ++i;
+            } else if (c == '\'') {
+                code[i] = '\'';
+                st = St::Code;
+            }
+            break;
+          case St::RawStr:
+            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1;
+                code[i] = '"';
+                st = St::Code;
+            }
+            break;
+        }
+        if (c == '\n') {
+            code[i] = '\n';
+            lineHadCode = false;
+            ++line;
+        }
+    }
+    if (st == St::LineComment || st == St::BlockComment)
+        parseAllow(comment, commentLine, !lineHadCode, out.allow);
+
+    // Tokenize the code view.
+    line = 1;
+    int col = 1;
+    for (std::size_t i = 0; i < code.size(); ++i, ++col) {
+        char c = code[i];
+        if (c == '\n') {
+            ++line;
+            col = 0;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        if (static_cast<std::size_t>(line) <= out.rawLines.size() &&
+            ppLine[static_cast<std::size_t>(line) - 1])
+            continue;
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            Token t;
+            t.line = line;
+            t.col = col;
+            t.isIdent = true;
+            while (i < code.size() &&
+                   (std::isalnum(static_cast<unsigned char>(code[i])) ||
+                    code[i] == '_')) {
+                t.text += code[i];
+                ++i;
+                ++col;
+            }
+            --i;
+            --col;
+            out.tokens.push_back(std::move(t));
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Numbers (incl. suffixes/hex) collapse to one token.
+            Token t;
+            t.line = line;
+            t.col = col;
+            t.text = "0";
+            while (i < code.size() &&
+                   (std::isalnum(static_cast<unsigned char>(code[i])) ||
+                    code[i] == '.' || code[i] == '\'')) {
+                ++i;
+                ++col;
+            }
+            --i;
+            --col;
+            out.tokens.push_back(std::move(t));
+        } else {
+            Token t;
+            t.line = line;
+            t.col = col;
+            t.text = c;
+            // Fuse :: into one token; everything else single-char.
+            if (c == ':' && i + 1 < code.size() &&
+                code[i + 1] == ':') {
+                t.text = "::";
+                ++i;
+                ++col;
+            }
+            out.tokens.push_back(std::move(t));
+        }
+    }
+    return out;
+}
+
+/** Normalize to forward slashes and strip leading "./". */
+std::string
+normalPath(std::string p)
+{
+    std::replace(p.begin(), p.end(), '\\', '/');
+    while (p.rfind("./", 0) == 0)
+        p = p.substr(2);
+    return p;
+}
+
+/** Tick-affecting / hot-path directories. */
+bool
+isHotPath(const std::string &p)
+{
+    return p.find("src/sim/") != std::string::npos ||
+           p.find("src/dsa/") != std::string::npos ||
+           p.find("src/mem/") != std::string::npos;
+}
+
+bool
+isHeader(const std::string &p)
+{
+    return p.size() > 3 && (p.ends_with(".hh") || p.ends_with(".h"));
+}
+
+/**
+ * Expected include guard: DSASIM_<PATH>_HH, where <PATH> is the path
+ * below the repo root with a leading src/ stripped (src/sim/x.hh ->
+ * DSASIM_SIM_X_HH, bench/common.hh -> DSASIM_BENCH_COMMON_HH). Works
+ * for absolute inputs by anchoring on the last src/bench/tools/tests
+ * path component.
+ */
+std::string
+expectedGuard(const std::string &p)
+{
+    std::string rel = normalPath(p);
+    auto anchor = [&rel](const std::string &dir, bool keep) {
+        const std::string mid = "/" + dir + "/";
+        std::size_t pos = rel.rfind(mid);
+        if (pos != std::string::npos) {
+            rel = rel.substr(keep ? pos + 1 : pos + mid.size());
+            return true;
+        }
+        if (rel.rfind(dir + "/", 0) == 0) {
+            if (!keep)
+                rel = rel.substr(dir.size() + 1);
+            return true;
+        }
+        return false;
+    };
+    if (!anchor("src", false)) {
+        anchor("bench", true) || anchor("tools", true) ||
+            anchor("tests", true) || anchor("examples", true);
+    }
+    std::string g = "DSASIM_";
+    for (char c : rel) {
+        g += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+    }
+    return g;
+}
+
+class Linter
+{
+  public:
+    explicit Linter(bool apply_fixes) : fix(apply_fixes) {}
+
+    std::vector<Diagnostic> diags;
+    std::size_t suppressed = 0;
+    std::size_t fixesApplied = 0;
+
+    void
+    lint(ScannedFile &f)
+    {
+        const std::string lp = normalPath(f.logicalPath);
+        const bool hot = isHotPath(lp);
+        if (hot) {
+            checkWallClock(f);
+            if (lp.find("sim/random.hh") == std::string::npos)
+                checkEntropy(f);
+            checkUnorderedIter(f);
+            checkRawAlloc(f);
+        }
+        checkBannedFn(f);
+        checkVolatile(f);
+        if (isHeader(lp))
+            checkIncludeHygiene(f, lp);
+    }
+
+  private:
+    bool fix;
+
+    void
+    report(const ScannedFile &f, int line, int col,
+           const std::string &rule, const std::string &msg,
+           const std::string &note = "")
+    {
+        if (f.allow.allows(line, rule)) {
+            ++suppressed;
+            return;
+        }
+        diags.push_back(
+            Diagnostic{f.path, line, col, rule, msg, note});
+    }
+
+    /// @name Token-stream helpers.
+    /// @{
+    static bool
+    nextIs(const ScannedFile &f, std::size_t i, std::string_view s)
+    {
+        return i + 1 < f.tokens.size() && f.tokens[i + 1].text == s;
+    }
+
+    static bool
+    prevIs(const ScannedFile &f, std::size_t i, std::string_view s)
+    {
+        return i > 0 && f.tokens[i - 1].text == s;
+    }
+
+    /** True if token i is a member access (obj.x / obj->x). */
+    static bool
+    isMember(const ScannedFile &f, std::size_t i)
+    {
+        if (prevIs(f, i, "."))
+            return true;
+        return i >= 2 && f.tokens[i - 1].text == ">" &&
+               f.tokens[i - 2].text == "-";
+    }
+    /// @}
+
+    void
+    checkWallClock(ScannedFile &f)
+    {
+        static const std::set<std::string> clocks = {
+            "system_clock", "steady_clock", "high_resolution_clock",
+            "utc_clock",    "file_clock",   "gettimeofday",
+            "clock_gettime", "timespec_get"};
+        static const std::set<std::string> calls = {"time", "clock"};
+        for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+            const Token &t = f.tokens[i];
+            if (!t.isIdent)
+                continue;
+            const bool named = clocks.count(t.text) > 0;
+            const bool call = calls.count(t.text) > 0 &&
+                              nextIs(f, i, "(") && !isMember(f, i);
+            if ((named || call) && !isMember(f, i)) {
+                report(f, t.line, t.col, "wall-clock",
+                       "host time source '" + t.text +
+                           "' in tick-affecting code",
+                       "simulated time comes from Simulation::now(); "
+                       "host clocks break replay determinism");
+            }
+        }
+    }
+
+    void
+    checkEntropy(ScannedFile &f)
+    {
+        static const std::set<std::string> types = {
+            "random_device", "mt19937", "mt19937_64",
+            "default_random_engine", "minstd_rand", "minstd_rand0",
+            "ranlux24", "ranlux48", "knuth_b"};
+        static const std::set<std::string> calls = {"rand", "srand",
+                                                    "random"};
+        for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+            const Token &t = f.tokens[i];
+            if (!t.isIdent)
+                continue;
+            const bool named = types.count(t.text) > 0;
+            const bool call = calls.count(t.text) > 0 &&
+                              nextIs(f, i, "(") && !isMember(f, i);
+            if ((named || call) && !isMember(f, i)) {
+                report(f, t.line, t.col, "entropy",
+                       "non-deterministic entropy source '" + t.text +
+                           "' outside sim/random.hh",
+                       "use dsasim::Rng (sim/random.hh) with an "
+                       "explicit seed");
+            }
+        }
+    }
+
+    void
+    checkUnorderedIter(ScannedFile &f)
+    {
+        // Pass 1: names declared with an unordered container type
+        // (including `using Alias = std::unordered_map<...>` and
+        // variables declared via such an alias).
+        std::set<std::string> unorderedVars;
+        std::set<std::string> unorderedTypes = {"unordered_map",
+                                                "unordered_set",
+                                                "unordered_multimap",
+                                                "unordered_multiset"};
+        for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+            const Token &t = f.tokens[i];
+            if (!t.isIdent || unorderedTypes.count(t.text) == 0)
+                continue;
+            // `using X = std::unordered_map<...>`: X becomes an
+            // unordered type name.
+            if (i >= 3 && f.tokens[i - 1].text == "::" &&
+                f.tokens[i - 2].text == "std" &&
+                f.tokens[i - 3].text == "=" && i >= 5 &&
+                f.tokens[i - 5].text == "using") {
+                unorderedTypes.insert(f.tokens[i - 4].text);
+            }
+            // Skip balanced template args, then take the declared
+            // name (built-in containers are always followed by
+            // <...>; aliases may not be).
+            std::size_t j = i + 1;
+            if (j < f.tokens.size() && f.tokens[j].text == "<") {
+                int depth = 0;
+                for (; j < f.tokens.size(); ++j) {
+                    if (f.tokens[j].text == "<")
+                        ++depth;
+                    else if (f.tokens[j].text == ">" && --depth == 0) {
+                        ++j;
+                        break;
+                    }
+                }
+            }
+            if (j < f.tokens.size() && f.tokens[j].isIdent)
+                unorderedVars.insert(f.tokens[j].text);
+        }
+        // Alias-typed declarations: `Alias name ...`.
+        for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+            if (f.tokens[i].isIdent &&
+                unorderedTypes.count(f.tokens[i].text) > 0 &&
+                f.tokens[i].text.rfind("unordered_", 0) != 0 &&
+                f.tokens[i + 1].isIdent &&
+                !prevIs(f, i, "using")) {
+                unorderedVars.insert(f.tokens[i + 1].text);
+            }
+        }
+        if (unorderedVars.empty())
+            return;
+
+        // Pass 2a: range-for `for (... : var)`.
+        for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+            if (!(f.tokens[i].text == "for" && nextIs(f, i, "(")))
+                continue;
+            int depth = 0;
+            for (std::size_t j = i + 1; j < f.tokens.size(); ++j) {
+                if (f.tokens[j].text == "(")
+                    ++depth;
+                else if (f.tokens[j].text == ")" && --depth == 0)
+                    break;
+                else if (f.tokens[j].text == ":" && depth == 1 &&
+                         j + 1 < f.tokens.size() &&
+                         f.tokens[j + 1].isIdent &&
+                         unorderedVars.count(f.tokens[j + 1].text) >
+                             0) {
+                    const Token &v = f.tokens[j + 1];
+                    report(f, v.line, v.col, "unordered-iter",
+                           "range-for over unordered container '" +
+                               v.text + "' in tick-affecting code",
+                           "iteration order is unspecified and can "
+                           "change replay order; use a sorted "
+                           "container or iterate a deterministic "
+                           "index");
+                }
+            }
+        }
+        // Pass 2b: explicit iteration `var.begin()`. end()/cend()
+        // alone is the find()-sentinel idiom and stays legal.
+        static const std::set<std::string> iterFns = {"begin",
+                                                      "cbegin"};
+        for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+            if (f.tokens[i].isIdent &&
+                unorderedVars.count(f.tokens[i].text) > 0 &&
+                nextIs(f, i, ".") && f.tokens[i + 2].isIdent &&
+                iterFns.count(f.tokens[i + 2].text) > 0) {
+                const Token &t = f.tokens[i];
+                report(f, t.line, t.col, "unordered-iter",
+                       "iterator walk over unordered container '" +
+                           t.text + "' in tick-affecting code",
+                       "iteration order is unspecified and can "
+                       "change replay order; use a sorted container "
+                       "or iterate a deterministic index");
+            }
+        }
+    }
+
+    void
+    checkRawAlloc(ScannedFile &f)
+    {
+        static const std::set<std::string> cAlloc = {
+            "malloc", "calloc", "realloc", "free"};
+        for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+            const Token &t = f.tokens[i];
+            if (t.text == "new" && t.isIdent) {
+                // Placement new (`new (addr) T`) is how the arenas
+                // themselves are built — allowed.
+                if (nextIs(f, i, "(") || prevIs(f, i, "operator"))
+                    continue;
+                report(f, t.line, t.col, "raw-alloc",
+                       "raw 'new' in hot-path code",
+                       "use the event arena, InlineCallback SBO, a "
+                       "container, or std::make_unique at setup "
+                       "time");
+            } else if (t.text == "delete" && t.isIdent) {
+                // `= delete` declarations are not deallocations.
+                if (prevIs(f, i, "=") || prevIs(f, i, "operator"))
+                    continue;
+                report(f, t.line, t.col, "raw-alloc",
+                       "raw 'delete' in hot-path code",
+                       "pair allocations with owning containers or "
+                       "smart pointers");
+            } else if (t.isIdent && cAlloc.count(t.text) > 0 &&
+                       nextIs(f, i, "(") && !isMember(f, i)) {
+                report(f, t.line, t.col, "raw-alloc",
+                       "C allocation '" + t.text +
+                           "' in hot-path code",
+                       "use a container or the event arena");
+            }
+        }
+    }
+
+    void
+    checkBannedFn(ScannedFile &f)
+    {
+        static const std::map<std::string, std::string> banned = {
+            {"strcpy", "use std::memcpy with an explicit size, or "
+                       "std::string"},
+            {"strcat", "use std::string or bounded std::snprintf"},
+            {"sprintf", "use std::snprintf with the buffer size"},
+            {"vsprintf", "use std::vsnprintf with the buffer size"},
+            {"gets", "use std::fgets"},
+        };
+        for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+            const Token &t = f.tokens[i];
+            if (!t.isIdent || !nextIs(f, i, "(") || isMember(f, i))
+                continue;
+            auto it = banned.find(t.text);
+            if (it == banned.end())
+                continue;
+            report(f, t.line, t.col, "banned-fn",
+                   "unbounded '" + t.text + "'", it->second);
+        }
+    }
+
+    void
+    checkVolatile(ScannedFile &f)
+    {
+        for (const Token &t : f.tokens) {
+            if (t.isIdent && t.text == "volatile") {
+                report(f, t.line, t.col, "volatile-sync",
+                       "'volatile' is not a synchronization "
+                       "primitive",
+                       "use std::atomic, or rely on the kernel's "
+                       "deterministic single-threaded event order");
+            }
+        }
+    }
+
+    void
+    checkIncludeHygiene(ScannedFile &f, const std::string &lp)
+    {
+        const std::string want = expectedGuard(lp);
+        // Locate the first #ifndef / #define pair.
+        std::string gotIfndef, gotDefine;
+        int ifndefLine = 0, defineLine = 0;
+        auto directiveArg = [](const std::string &raw,
+                               const char *name) -> std::string {
+            std::size_t h = raw.find_first_not_of(" \t");
+            if (h == std::string::npos || raw[h] != '#')
+                return "";
+            std::size_t k = raw.find_first_not_of(" \t", h + 1);
+            std::size_t n = std::strlen(name);
+            if (k == std::string::npos ||
+                raw.compare(k, n, name) != 0)
+                return "";
+            std::size_t b = raw.find_first_not_of(" \t", k + n);
+            if (b == std::string::npos)
+                return "";
+            std::size_t e = b;
+            while (e < raw.size() &&
+                   (std::isalnum(static_cast<unsigned char>(raw[e])) ||
+                    raw[e] == '_'))
+                ++e;
+            return e > b ? raw.substr(b, e - b) : "";
+        };
+        for (std::size_t li = 0; li < f.rawLines.size(); ++li) {
+            const std::string &raw = f.rawLines[li];
+            if (gotIfndef.empty()) {
+                std::string v = directiveArg(raw, "ifndef");
+                if (!v.empty()) {
+                    gotIfndef = v;
+                    ifndefLine = static_cast<int>(li) + 1;
+                }
+            } else {
+                std::string v = directiveArg(raw, "define");
+                if (!v.empty()) {
+                    gotDefine = v;
+                    defineLine = static_cast<int>(li) + 1;
+                }
+                break;
+            }
+        }
+        if (gotIfndef.empty() || gotDefine != gotIfndef) {
+            report(f, 1, 1, "include-hygiene",
+                   "missing include guard (expected '" + want + "')",
+                   "wrap the header in #ifndef " + want +
+                       " / #define " + want + " / #endif");
+        } else if (gotIfndef != want) {
+            if (fix && rewriteGuard(f, gotIfndef, want, ifndefLine,
+                                    defineLine)) {
+                ++fixesApplied;
+            } else {
+                report(f, ifndefLine, 1, "include-hygiene",
+                       "include guard '" + gotIfndef +
+                           "' does not match path (expected '" +
+                           want + "')",
+                       "rename the guard (simlint --fix does this "
+                       "mechanically)");
+            }
+        }
+        // Parent-relative includes.
+        for (std::size_t li = 0; li < f.rawLines.size(); ++li) {
+            const std::string &raw = f.rawLines[li];
+            std::size_t h = raw.find_first_not_of(" \t");
+            if (h == std::string::npos || raw[h] != '#')
+                continue;
+            if (raw.find("include") == std::string::npos)
+                continue;
+            std::size_t q = raw.find('"');
+            if (q == std::string::npos)
+                continue;
+            std::size_t q2 = raw.find('"', q + 1);
+            if (q2 == std::string::npos)
+                continue;
+            std::string inc = raw.substr(q + 1, q2 - q - 1);
+            if (inc.find("../") != std::string::npos) {
+                report(f, static_cast<int>(li) + 1,
+                       static_cast<int>(q) + 1, "include-hygiene",
+                       "parent-relative #include \"" + inc + "\"",
+                       "include with a source-root-relative path "
+                       "(e.g. \"sim/ticks.hh\")");
+            }
+        }
+    }
+
+    /** Mechanical guard rename for --fix. */
+    bool
+    rewriteGuard(ScannedFile &f, const std::string &from,
+                 const std::string &to, int ifndef_line,
+                 int define_line)
+    {
+        auto subst = [&](int line1) {
+            std::string &l = f.rawLines[static_cast<std::size_t>(
+                line1 - 1)];
+            std::size_t p = l.find(from);
+            if (p == std::string::npos)
+                return false;
+            l.replace(p, from.size(), to);
+            return true;
+        };
+        if (ifndef_line <= 0 || define_line <= 0 ||
+            static_cast<std::size_t>(ifndef_line) > f.rawLines.size() ||
+            static_cast<std::size_t>(define_line) > f.rawLines.size())
+            return false;
+        bool ok = subst(ifndef_line) && subst(define_line);
+        // Trailing `#endif // GUARD` comments, if present.
+        for (auto &l : f.rawLines) {
+            if (l.rfind("#endif", 0) == 0) {
+                std::size_t p = l.find(from);
+                if (p != std::string::npos)
+                    l.replace(p, from.size(), to);
+            }
+        }
+        if (!ok)
+            return false;
+        std::ofstream os(f.path, std::ios::binary | std::ios::trunc);
+        for (const auto &l : f.rawLines)
+            os << l << '\n';
+        return os.good();
+    }
+};
+
+const char *kRuleHelp =
+    "rules:\n"
+    "  wall-clock       host time sources in src/sim, src/dsa, "
+    "src/mem\n"
+    "  entropy          host entropy sources outside sim/random.hh\n"
+    "  unordered-iter   iteration over unordered containers in "
+    "tick-affecting code\n"
+    "  raw-alloc        raw new/delete/malloc in hot-path "
+    "directories\n"
+    "  banned-fn        strcpy/strcat/sprintf/vsprintf/gets "
+    "anywhere\n"
+    "  volatile-sync    'volatile' used anywhere\n"
+    "  include-hygiene  DSASIM_<PATH>_HH guards; no \"../\" "
+    "includes\n"
+    "suppress with: // simlint:allow(rule[,rule...])\n";
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string e = p.extension().string();
+    return e == ".cc" || e == ".hh" || e == ".cpp" || e == ".h";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fix = false;
+    std::string treatAs;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--fix") {
+            fix = true;
+        } else if (a == "--list-rules") {
+            std::fputs(kRuleHelp, stdout);
+            return 0;
+        } else if (a.rfind("--treat-as=", 0) == 0) {
+            treatAs = a.substr(11);
+        } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "simlint: unknown option %s\n",
+                         a.c_str());
+            return 2;
+        } else {
+            inputs.push_back(a);
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "usage: simlint [--fix] [--list-rules] "
+                     "[--treat-as=PATH] PATH...\n");
+        return 2;
+    }
+    if (!treatAs.empty() && inputs.size() != 1) {
+        std::fprintf(stderr,
+                     "simlint: --treat-as needs exactly one input "
+                     "file\n");
+        return 2;
+    }
+
+    // Expand directories, deterministically ordered.
+    std::vector<std::string> files;
+    for (const auto &in : inputs) {
+        fs::path p(in);
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator it(p, ec), end;
+                 it != end; it.increment(ec)) {
+                if (!ec && it->is_regular_file() &&
+                    lintableExtension(it->path()))
+                    files.push_back(it->path().generic_string());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p.generic_string());
+        } else {
+            std::fprintf(stderr, "simlint: cannot read %s\n",
+                         in.c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
+
+    Linter linter(fix);
+    for (const auto &file : files) {
+        std::ifstream is(file, std::ios::binary);
+        if (!is) {
+            std::fprintf(stderr, "simlint: cannot read %s\n",
+                         file.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        ScannedFile sf = scanFile(
+            file, treatAs.empty() ? file : treatAs, ss.str());
+        linter.lint(sf);
+    }
+
+    std::stable_sort(linter.diags.begin(), linter.diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.path != b.path)
+                             return a.path < b.path;
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.col < b.col;
+                     });
+    for (const auto &d : linter.diags) {
+        std::printf("%s:%d:%d: error: [%s] %s\n", d.path.c_str(),
+                    d.line, d.col, d.rule.c_str(), d.message.c_str());
+        if (!d.note.empty())
+            std::printf("    note: %s\n", d.note.c_str());
+    }
+    if (!linter.diags.empty() || linter.suppressed > 0 ||
+        linter.fixesApplied > 0) {
+        std::fprintf(stderr,
+                     "simlint: %zu error(s), %zu suppressed, %zu "
+                     "fixed, %zu file(s)\n",
+                     linter.diags.size(), linter.suppressed,
+                     linter.fixesApplied, files.size());
+    }
+    return linter.diags.empty() ? 0 : 1;
+}
