@@ -161,10 +161,12 @@ main()
         for (auto s : sizes)
             cols.push_back(fmtSize(s));
         Table tbl("Fig 2a: sync speedup over software (x)", cols);
-        // Each op row owns a private Rig, so rows sweep in parallel.
-        auto rows = sweep.run(ops.size(), [&](std::size_t oi) {
+        // Each op row forks a private rig off one shared snapshot,
+        // so rows sweep in parallel.
+        auto rows = sweepScenario(
+            sweep, Scenario(Rig::Options{}), ops.size(),
+            [&](Rig &rig, std::size_t oi) {
             const OpSpec &op = ops[oi];
-            Rig rig{Rig::Options{}};
             Addr src = 0, dst = 0;
             prepareBuffers(rig, op, src, dst, op.maxSize);
             std::vector<std::string> row = {op.name};
@@ -192,9 +194,10 @@ main()
             cols.push_back(fmtSize(s));
         Table tbl("Fig 2b: async (depth 32) speedup over software (x)",
                   cols);
-        auto rows = sweep.run(ops.size(), [&](std::size_t oi) {
+        auto rows = sweepScenario(
+            sweep, Scenario(Rig::Options{}), ops.size(),
+            [&](Rig &rig, std::size_t oi) {
             const OpSpec &op = ops[oi];
-            Rig rig{Rig::Options{}};
             const int ring_n = 16;
             Addr src = 0, dst = 0;
             // Strided ring within one pair of large regions.

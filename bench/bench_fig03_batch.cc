@@ -121,15 +121,16 @@ main()
         Table tbl(async ? "Fig 3 (async, depth 32): memcpy GB/s"
                         : "Fig 3 (sync): memcpy GB/s",
                   cols);
-        // Each (BS, TS) cell builds its own Rig; sweep all cells of
-        // the grid concurrently and reassemble rows in order.
+        // Every (BS, TS) cell shares one rig snapshot; cells fork and
+        // sweep concurrently, and rows reassemble in order.
         const std::size_t n = batch_sizes.size() * sizes.size();
-        auto cells = sweep.run(n, [&](std::size_t i) -> std::string {
+        auto cells = sweepScenario(
+            sweep, Scenario(Rig::Options{}), n,
+            [&](Rig &rig, std::size_t i) -> std::string {
             const int bs = batch_sizes[i / sizes.size()];
             const std::uint64_t ts = sizes[i % sizes.size()];
             if (static_cast<std::uint64_t>(bs) * ts > (64u << 20))
                 return "-";
-            Rig rig{Rig::Options{}};
             const std::uint64_t span =
                 static_cast<std::uint64_t>(ts) * bs * 4;
             Addr src = rig.as->alloc(span);

@@ -23,16 +23,19 @@ main()
         cols.push_back(fmtSize(s));
     Table tbl("Fig 4: async memcpy GB/s vs WQ size", cols);
 
-    // One Rig per (WQS, TS) cell; sweep the whole grid concurrently.
+    // One rig per (WQS, TS) cell; cells in the same WQS row share
+    // one snapshotted rig and fork per transfer size.
     SweepRunner sweep;
-    auto cells = sweep.run(
-        wq_sizes.size() * sizes.size(),
-        [&](std::size_t i) -> std::string {
+    std::vector<Scenario> pts;
+    for (std::size_t i = 0; i < wq_sizes.size() * sizes.size(); ++i) {
+        Rig::Options o;
+        o.wqSize = wq_sizes[i / sizes.size()];
+        pts.emplace_back(o);
+    }
+    auto cells = sweepScenarios(
+        sweep, pts, [&](Rig &rig, std::size_t i) -> std::string {
             const unsigned wqs = wq_sizes[i / sizes.size()];
             const std::uint64_t ts = sizes[i % sizes.size()];
-            Rig::Options o;
-            o.wqSize = wqs;
-            Rig rig(o);
             auto ring = memMoveRing(rig, ts, 16);
             // The client keeps at most WQS descriptors in flight
             // (MOVDIR64B occupancy tracking).

@@ -108,18 +108,23 @@ main()
               {"config", "alloc", "prepare", "submit", "wait",
                "total", "cpu-memcpy"});
 
-    for (int bs : batch_sizes) {
-        Rig rig{Rig::Options{}};
-        Breakdown dsa;
-        measureDsa(rig, ts, bs, 40, dsa);
-        rig.sim.run();
-        double cpu = 0;
-        measureCpu(rig, ts, bs, 40, cpu);
-        rig.sim.run();
-        tbl.addRow({"BS:" + std::to_string(bs), fmt(dsa.alloc),
+    SweepRunner sweep;
+    auto rows = sweepScenario(
+        sweep, Scenario(Rig::Options{}), batch_sizes.size(),
+        [&](Rig &rig, std::size_t i) -> std::vector<std::string> {
+            const int bs = batch_sizes[i];
+            Breakdown dsa;
+            measureDsa(rig, ts, bs, 40, dsa);
+            rig.sim.run();
+            double cpu = 0;
+            measureCpu(rig, ts, bs, 40, cpu);
+            rig.sim.run();
+            return {"BS:" + std::to_string(bs), fmt(dsa.alloc),
                     fmt(dsa.prep), fmt(dsa.submit), fmt(dsa.wait),
-                    fmt(dsa.total()), fmt(cpu)});
-    }
+                    fmt(dsa.total()), fmt(cpu)};
+        });
+    for (auto &row : rows)
+        tbl.addRow(std::move(row));
     tbl.print();
 
     std::printf("\nNote: alloc/prepare are modeled constants (the "

@@ -33,50 +33,37 @@ panel(const char *title, const std::vector<Placement> &placements,
         cols.push_back(fmtSize(s));
     Table tbl(title, cols);
 
-    for (const auto &p : placements) {
-        Rig rig{Rig::Options{}};
-        std::uint64_t max_size = sizes.back();
-        Addr src = rig.as->alloc(max_size, p.src);
-        Addr dst = rig.as->alloc(max_size, p.dst);
-        std::vector<std::string> thr = {std::string("DSA: ") +
-                                            p.label,
-                                        "GB/s"};
-        std::vector<std::string> lat = {std::string("DSA: ") +
-                                            p.label,
-                                        "ns"};
-        for (auto s : sizes) {
-            Measure m = syncHw(
-                rig, dml::Executor::memMove(*rig.as, dst, src, s));
-            thr.push_back(fmt(m.gbps));
-            lat.push_back(fmt(m.meanNs, 0));
-        }
-        tbl.addRow(thr);
-        tbl.addRow(lat);
-    }
-
-    // CPU reference lines, as in the paper's panels.
-    for (const auto &p : placements) {
-        Rig rig{Rig::Options{}};
-        std::uint64_t max_size = sizes.back();
-        Addr src = rig.as->alloc(max_size, p.src);
-        Addr dst = rig.as->alloc(max_size, p.dst);
-        std::vector<std::string> thr = {std::string("CPU: ") +
-                                            p.label,
-                                        "GB/s"};
-        std::vector<std::string> lat = {std::string("CPU: ") +
-                                            p.label,
-                                        "ns"};
-        for (auto s : sizes) {
-            Measure m = syncSw(
-                rig, dml::Executor::memMove(*rig.as, dst, src, s));
-            thr.push_back(fmt(m.gbps));
-            lat.push_back(fmt(m.meanNs, 0));
-        }
-        tbl.addRow(thr);
-        tbl.addRow(lat);
-        if (&p - placements.data() >= 1)
-            break; // paper shows one or two CPU references
-    }
+    // Placement rows fork off one shared rig snapshot. The paper
+    // shows only one or two CPU reference lines.
+    SweepRunner sweep;
+    const std::size_t cpu_rows =
+        std::min<std::size_t>(2, placements.size());
+    auto rows = sweepScenario(
+        sweep, Scenario(Rig::Options{}),
+        placements.size() + cpu_rows,
+        [&](Rig &rig,
+            std::size_t i) -> std::vector<std::vector<std::string>> {
+            const bool cpu = i >= placements.size();
+            const Placement &p =
+                placements[cpu ? i - placements.size() : i];
+            std::uint64_t max_size = sizes.back();
+            Addr src = rig.as->alloc(max_size, p.src);
+            Addr dst = rig.as->alloc(max_size, p.dst);
+            const std::string who = cpu ? "CPU: " : "DSA: ";
+            std::vector<std::string> thr = {who + p.label, "GB/s"};
+            std::vector<std::string> lat = {who + p.label, "ns"};
+            for (auto s : sizes) {
+                WorkDescriptor d =
+                    dml::Executor::memMove(*rig.as, dst, src, s);
+                Measure m = cpu ? syncSw(rig, d) : syncHw(rig, d);
+                thr.push_back(fmt(m.gbps));
+                lat.push_back(fmt(m.meanNs, 0));
+            }
+            return {thr, lat};
+        });
+    for (auto &pair : rows)
+        for (auto &row : pair)
+            tbl.addRow(std::move(row));
     tbl.print();
 }
 

@@ -96,13 +96,18 @@ main()
     Table tbl("Fig 7: async memcpy GB/s vs PEs per group (1 WQ)",
               cols);
 
-    for (const auto &c : cfgs) {
-        std::vector<std::string> row = {fmtSize(c.ts) + ":" +
-                                        std::to_string(c.bs)};
-        for (unsigned p : pes) {
-            Rig::Options o;
-            o.engines = p;
-            Rig rig(o);
+    // Cells in one PE column share a snapshotted rig; the grid
+    // sweeps concurrently and rows reassemble in order.
+    SweepRunner sweep;
+    std::vector<Scenario> points;
+    for (std::size_t i = 0; i < cfgs.size() * pes.size(); ++i) {
+        Rig::Options o;
+        o.engines = pes[i % pes.size()];
+        points.emplace_back(o);
+    }
+    auto cells = sweepScenarios(
+        sweep, points, [&](Rig &rig, std::size_t i) -> std::string {
+            const Cfg &c = cfgs[i / pes.size()];
             Measure m;
             int depth = c.bs == 1 ? 32 : 8;
             int jobs = std::max(
@@ -110,8 +115,14 @@ main()
                              240));
             asyncBatched(rig, c.ts, c.bs, jobs, depth, m);
             rig.sim.run();
-            row.push_back(fmt(m.gbps));
-        }
+            return fmt(m.gbps);
+        });
+    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+        const Cfg &c = cfgs[ci];
+        std::vector<std::string> row = {fmtSize(c.ts) + ":" +
+                                        std::to_string(c.bs)};
+        for (std::size_t p = 0; p < pes.size(); ++p)
+            row.push_back(std::move(cells[ci * pes.size() + p]));
         tbl.addRow(row);
     }
     tbl.print();

@@ -43,34 +43,43 @@ main()
         cols.push_back(fmtSize(s));
     Table tbl("Fig 8: huge-page impact on async memcpy", cols);
 
-    for (PageSize ps : {PageSize::Size4K, PageSize::Size2M}) {
-        const char *label =
-            ps == PageSize::Size4K ? "4K" : "2M";
+    const std::vector<PageSize> pss = {PageSize::Size4K,
+                                       PageSize::Size2M};
+    SweepRunner sweep;
+
+    // Cold rows keep one rig per page size (the row *is* the cold
+    // first-touch measurement); warm cells fork off one snapshot.
+    for (PageSize ps : pss) {
+        const char *label = ps == PageSize::Size4K ? "4K" : "2M";
 
         // Cold first touch (ATC empty, every page walked).
-        {
-            Rig rig{Rig::Options{}};
-            std::vector<std::string> row = {label, "cold GB/s"};
-            for (auto s : sizes) {
-                Addr src = rig.as->alloc(s, MemKind::DramLocal, ps);
-                Addr dst = rig.as->alloc(s, MemKind::DramLocal, ps);
-                Measure m;
-                coldPass(rig, src, dst, s, m);
-                rig.sim.run();
-                row.push_back(fmt(m.gbps));
-            }
-            tbl.addRow(row);
-        }
+        tbl.addRow(runScenario(
+            Scenario(Rig::Options{}),
+            [&](Rig &rig) -> std::vector<std::string> {
+                std::vector<std::string> row = {label, "cold GB/s"};
+                for (auto s : sizes) {
+                    Addr src =
+                        rig.as->alloc(s, MemKind::DramLocal, ps);
+                    Addr dst =
+                        rig.as->alloc(s, MemKind::DramLocal, ps);
+                    Measure m;
+                    coldPass(rig, src, dst, s, m);
+                    rig.sim.run();
+                    row.push_back(fmt(m.gbps));
+                }
+                return row;
+            }));
 
         // Steady state (warm ATC), async depth 32.
-        {
-            std::vector<std::string> row = {label, "warm GB/s"};
-            for (auto s : sizes) {
-                Rig rig{Rig::Options{}};
-                Addr src = rig.as->alloc(s * 8, MemKind::DramLocal,
-                                         ps);
-                Addr dst = rig.as->alloc(s * 8, MemKind::DramLocal,
-                                         ps);
+        std::vector<std::string> row = {label, "warm GB/s"};
+        auto cells = sweepScenario(
+            sweep, Scenario(Rig::Options{}), sizes.size(),
+            [&](Rig &rig, std::size_t si) -> std::string {
+                const std::uint64_t s = sizes[si];
+                Addr src =
+                    rig.as->alloc(s * 8, MemKind::DramLocal, ps);
+                Addr dst =
+                    rig.as->alloc(s * 8, MemKind::DramLocal, ps);
                 std::vector<WorkDescriptor> ring;
                 for (int i = 0; i < 8; ++i) {
                     ring.push_back(dml::Executor::memMove(
@@ -78,10 +87,11 @@ main()
                         src + static_cast<Addr>(i) * s, s));
                 }
                 Measure m = asyncHw(rig, ring);
-                row.push_back(fmt(m.gbps));
-            }
-            tbl.addRow(row);
-        }
+                return fmt(m.gbps);
+            });
+        for (auto &c : cells)
+            row.push_back(std::move(c));
+        tbl.addRow(row);
     }
     tbl.print();
     return 0;

@@ -27,23 +27,23 @@ runConfig(unsigned n, const char *kind, std::uint64_t ts)
     AddressSpace &as = plat.mem().createSpace();
     DsaDevice &dev = plat.dsa(0);
 
-    std::vector<WorkQueue *> queues;
+    DsaTopology topo;
     if (std::string(kind) == "DWQ") {
         // N groups: one DWQ + one PE each, one thread per queue.
         for (unsigned i = 0; i < n; ++i) {
-            Group &g = dev.addGroup();
-            queues.push_back(
-                &dev.addWorkQueue(g, WorkQueue::Mode::Dedicated, 16));
-            dev.addEngine(g);
+            topo.groups.push_back({});
+            topo.wqs.push_back({static_cast<int>(i),
+                                WorkQueue::Mode::Dedicated, 16, 0, 0});
+            topo.engines.push_back(static_cast<int>(i));
         }
     } else {
         // One SWQ + one PE, N submitting threads.
-        Group &g = dev.addGroup();
-        queues.push_back(
-            &dev.addWorkQueue(g, WorkQueue::Mode::Shared, 32));
-        dev.addEngine(g);
+        topo = DsaTopology::basic(32, 1, WorkQueue::Mode::Shared);
     }
-    dev.enable();
+    topo.apply(dev);
+    std::vector<WorkQueue *> queues;
+    for (std::size_t w = 0; w < dev.wqCount(); ++w)
+        queues.push_back(&dev.wq(w));
 
     // Threads share the device; each gets private buffers.
     const int jobs_per_thread = static_cast<int>(
@@ -121,7 +121,7 @@ runBatched(unsigned n, std::uint64_t ts)
 {
     Rig::Options o;
     o.engines = n;
-    Rig rig(o);
+    return runScenario(Scenario(o), [&](Rig &rig) {
     Core &core = rig.plat.core(0);
     Addr src = rig.as->alloc(ts * n * 8);
     Addr dst = rig.as->alloc(ts * n * 8);
@@ -176,6 +176,7 @@ runBatched(unsigned n, std::uint64_t ts)
     Drv::go(rig, core, src, dst, ts, n, jobs, m);
     rig.sim.run();
     return m.gbps;
+    });
 }
 
 } // namespace

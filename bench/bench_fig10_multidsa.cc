@@ -88,16 +88,20 @@ main()
         cols.push_back(fmtSize(s));
     Table tbl("Fig 10: aggregate memcpy GB/s vs DSA instances", cols);
 
-    // One Rig per (devices, TS) cell; sweep the grid concurrently.
+    // One rig per (devices, TS) cell; cells in a device-count row
+    // fork off a shared snapshot and sweep concurrently.
     SweepRunner sweep;
-    auto cells = sweep.run(
-        device_counts.size() * sizes.size(),
-        [&](std::size_t i) -> std::string {
+    std::vector<Scenario> points;
+    for (std::size_t i = 0;
+         i < device_counts.size() * sizes.size(); ++i) {
+        Rig::Options o;
+        o.devices = device_counts[i / sizes.size()];
+        points.emplace_back(o);
+    }
+    auto cells = sweepScenarios(
+        sweep, points, [&](Rig &rig, std::size_t i) -> std::string {
             const unsigned n = device_counts[i / sizes.size()];
             const std::uint64_t ts = sizes[i % sizes.size()];
-            Rig::Options o;
-            o.devices = n;
-            Rig rig(o);
             const int jobs = static_cast<int>(
                 std::max<std::uint64_t>(64, (48ull << 20) / ts));
             Latch done(rig.sim, n);

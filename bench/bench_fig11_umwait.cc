@@ -68,17 +68,26 @@ main()
         cols.push_back(fmtSize(s));
     Table tbl("Fig 11: % of cycles in UMWAIT (sync offload)", cols);
 
-    for (int bs : batch_sizes) {
-        std::vector<std::string> row = {"BS:" + std::to_string(bs)};
-        for (auto ts : sizes) {
-            Rig rig{Rig::Options{}};
+    // All cells share one rig snapshot and fork concurrently.
+    SweepRunner sweep;
+    auto cells = sweepScenario(
+        sweep, Scenario(Rig::Options{}),
+        batch_sizes.size() * sizes.size(),
+        [&](Rig &rig, std::size_t i) -> std::string {
+            const int bs = batch_sizes[i / sizes.size()];
+            const std::uint64_t ts = sizes[i % sizes.size()];
             double frac = 0;
             int iters = itersFor(
                 ts * static_cast<std::uint64_t>(bs), 60);
             offloadLoop(rig, ts, bs, iters, frac);
             rig.sim.run();
-            row.push_back(fmt(100.0 * frac, 1));
-        }
+            return fmt(100.0 * frac, 1);
+        });
+    for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
+        std::vector<std::string> row = {
+            "BS:" + std::to_string(batch_sizes[b])};
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+            row.push_back(std::move(cells[b * sizes.size() + s]));
         tbl.addRow(row);
     }
     tbl.print();

@@ -89,11 +89,11 @@ sampler(Rig &rig, TimeSeries &xmem_mb, TimeSeries &bg_mb,
 }
 
 void
-runScenario(const char *kind)
+runPanel(const char *kind)
 {
     Rig::Options o;
     o.devices = 4;
-    Rig rig(o);
+    runScenario(Scenario(o), [&](Rig &rig) {
     const bool dsa = std::string(kind) == "DSA";
 
     // Background copies: epochs 0..60; probes: epochs 5..45.
@@ -137,6 +137,7 @@ runScenario(const char *kind)
         std::printf("%-8zu %-12.1f %-12.1f\n", i,
                     xmem_mb.data()[i].value, bg_mb.data()[i].value);
     }
+    });
 }
 
 } // namespace
@@ -145,7 +146,7 @@ runScenario(const char *kind)
 int
 main()
 {
-    dsasim::bench::runScenario("Software");
-    dsasim::bench::runScenario("DSA");
+    dsasim::bench::runPanel("Software");
+    dsasim::bench::runPanel("DSA");
     return 0;
 }

@@ -73,41 +73,46 @@ scenario(const char *kind, std::uint64_t ws)
     // device); its four copy streams share the 30 GB/s fabric.
     Rig::Options o;
     o.devices = 1;
-    Rig rig(o);
     const Tick horizon = fromUs(3000);
 
     std::vector<std::unique_ptr<apps::XMemProbe>> probes;
     std::vector<std::unique_ptr<Histogram>> hists;
-    for (int i = 0; i < 8; ++i) {
-        probes.push_back(std::make_unique<apps::XMemProbe>(
-            rig.plat, *rig.as, rig.plat.core(static_cast<std::size_t>(i)),
-            ws, 1000 + static_cast<std::uint64_t>(i)));
-        hists.push_back(std::make_unique<Histogram>());
-        probes.back()->warmAll();
-    }
 
-    // Launch background copiers; give pollution time to build up
-    // before the measured window starts.
-    if (std::string(kind) == "Software") {
-        for (int c = 8; c < 12; ++c)
-            softwareCopier(rig, c, rig.sim.now() + 2 * horizon);
-    } else if (std::string(kind) == "DSA") {
-        for (int c = 8; c < 12; ++c)
-            dsaCopier(rig, c, rig.sim.now() + 2 * horizon);
-    }
-    rig.sim.runUntil(rig.sim.now() + horizon / 2);
+    // Warm-up: probe working sets touched, background copiers
+    // launched, and half a horizon of pollution build-up before the
+    // measured window opens.
+    Scenario sc(o, [&](Rig &rig) {
+        for (int i = 0; i < 8; ++i) {
+            probes.push_back(std::make_unique<apps::XMemProbe>(
+                rig.plat, *rig.as,
+                rig.plat.core(static_cast<std::size_t>(i)), ws,
+                1000 + static_cast<std::uint64_t>(i)));
+            hists.push_back(std::make_unique<Histogram>());
+            probes.back()->warmAll();
+        }
+        if (std::string(kind) == "Software") {
+            for (int c = 8; c < 12; ++c)
+                softwareCopier(rig, c, rig.sim.now() + 2 * horizon);
+        } else if (std::string(kind) == "DSA") {
+            for (int c = 8; c < 12; ++c)
+                dsaCopier(rig, c, rig.sim.now() + 2 * horizon);
+        }
+        rig.sim.runUntil(rig.sim.now() + horizon / 2);
+    });
 
-    // Measured probe phase.
-    Tick until = rig.sim.now() + horizon;
-    for (int i = 0; i < 8; ++i)
-        probes[static_cast<std::size_t>(i)]->run(until,
-                                                 *hists[static_cast<std::size_t>(i)]);
-    rig.sim.runUntil(until);
+    return runScenario(sc, [&](Rig &rig) {
+        // Measured probe phase.
+        Tick until = rig.sim.now() + horizon;
+        for (int i = 0; i < 8; ++i)
+            probes[static_cast<std::size_t>(i)]->run(
+                until, *hists[static_cast<std::size_t>(i)]);
+        rig.sim.runUntil(until);
 
-    double sum = 0;
-    for (auto &h : hists)
-        sum += h->mean();
-    return sum / 8.0;
+        double sum = 0;
+        for (auto &h : hists)
+            sum += h->mean();
+        return sum / 8.0;
+    });
 }
 
 } // namespace

@@ -68,10 +68,15 @@ main()
                       ? "Fig 14 (async depth 4): GB/s, TS = total/BS"
                       : "Fig 14 (sync): GB/s, TS = total/BS",
                   cols);
-        for (auto total : totals) {
-            std::vector<std::string> row = {fmtSize(total)};
-            for (int bs : batch_sizes) {
-                Rig rig{Rig::Options{}};
+        // Cells share one rig snapshot and fork concurrently.
+        SweepRunner sweep;
+        auto cells = sweepScenario(
+            sweep, Scenario(Rig::Options{}),
+            totals.size() * batch_sizes.size(),
+            [&](Rig &rig, std::size_t ci) -> std::string {
+                const std::uint64_t total =
+                    totals[ci / batch_sizes.size()];
+                const int bs = batch_sizes[ci % batch_sizes.size()];
                 Measure m;
                 if (!async) {
                     syncTotal(rig, total, bs, 24, m);
@@ -154,8 +159,13 @@ main()
                     Drv::go(rig, src, dst, ts, bs, 24, m);
                     rig.sim.run();
                 }
-                row.push_back(fmt(m.gbps));
-            }
+                return fmt(m.gbps);
+            });
+        for (std::size_t t = 0; t < totals.size(); ++t) {
+            std::vector<std::string> row = {fmtSize(totals[t])};
+            for (std::size_t b = 0; b < batch_sizes.size(); ++b)
+                row.push_back(
+                    std::move(cells[t * batch_sizes.size() + b]));
             tbl.addRow(row);
         }
         tbl.print();

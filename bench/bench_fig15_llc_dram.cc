@@ -100,9 +100,15 @@ main()
         cols.push_back(fmtSize(s));
     Table tbl("Fig 15: LLC vs DRAM placements (sync, BS 1)", cols);
 
-    for (bool hw : {true, false}) {
-        for (const auto &p : placements) {
-            Rig rig{Rig::Options{}};
+    // One (hw, placement) pair per sweep point; every point forks
+    // the same default-options snapshot.
+    SweepRunner sweep;
+    auto rows = sweepScenario(
+        sweep, Scenario(Rig::Options{}), 2 * placements.size(),
+        [&](Rig &rig,
+            std::size_t i) -> std::vector<std::vector<std::string>> {
+            const bool hw = i < placements.size();
+            const Placement &p = placements[i % placements.size()];
             Addr src = rig.as->alloc(sizes.back());
             Addr dst = rig.as->alloc(sizes.back());
             std::vector<std::string> thr = {
@@ -117,10 +123,11 @@ main()
                 thr.push_back(fmt(m.gbps));
                 lat.push_back(fmt(m.meanNs, 0));
             }
-            tbl.addRow(thr);
-            tbl.addRow(lat);
-        }
-    }
+            return {thr, lat};
+        });
+    for (auto &pair : rows)
+        for (auto &row : pair)
+            tbl.addRow(std::move(row));
     tbl.print();
     return 0;
 }

@@ -33,33 +33,43 @@ run(bool use_dsa, std::uint32_t pkt_bytes)
     // A group with two PEs: 512B-class descriptors are gap-bound on
     // one PE, and vhost deployments give the copy group >= 2 engines.
     o.engines = 2;
-    Rig rig(o);
-
-    apps::Virtqueue vq(1024);
-    apps::VhostSwitch::Config cfg;
-    cfg.useDsa = use_dsa;
-    cfg.packetBytes = pkt_bytes;
-    apps::VhostSwitch host(rig.plat, *rig.as, rig.plat.core(0),
-                           rig.exec.get(), vq, cfg);
-    apps::GuestDriver guest(rig.plat, *rig.as, rig.plat.core(1), vq,
-                            2048, 512);
 
     const Tick horizon = fromUs(1500);
-    const Tick warmup = fromUs(300);
-    host.run(horizon);
-    guest.run(horizon);
-    rig.sim.runUntil(warmup);
-    std::uint64_t pkts0 = host.packetsForwarded();
-    Tick t0 = rig.sim.now();
-    rig.plat.core(0).resetAccounting();
-    rig.sim.runUntil(horizon);
+    std::unique_ptr<apps::Virtqueue> vq;
+    std::unique_ptr<apps::VhostSwitch> host;
+    std::unique_ptr<apps::GuestDriver> guest;
 
-    Result res;
-    res.mpps = static_cast<double>(host.packetsForwarded() - pkts0) /
-               toUs(rig.sim.now() - t0);
-    res.misordered = guest.orderViolations();
-    res.corrupt = guest.payloadErrors();
-    return res;
+    // Warm-up: bring the virtqueue pipeline to steady state before
+    // the measured window opens.
+    Scenario sc(o, [&](Rig &rig) {
+        vq = std::make_unique<apps::Virtqueue>(1024);
+        apps::VhostSwitch::Config cfg;
+        cfg.useDsa = use_dsa;
+        cfg.packetBytes = pkt_bytes;
+        host = std::make_unique<apps::VhostSwitch>(
+            rig.plat, *rig.as, rig.plat.core(0), rig.exec.get(),
+            *vq, cfg);
+        guest = std::make_unique<apps::GuestDriver>(
+            rig.plat, *rig.as, rig.plat.core(1), *vq, 2048, 512);
+        host->run(horizon);
+        guest->run(horizon);
+        rig.sim.runUntil(fromUs(300));
+    });
+
+    return runScenario(sc, [&](Rig &rig) {
+        std::uint64_t pkts0 = host->packetsForwarded();
+        Tick t0 = rig.sim.now();
+        rig.plat.core(0).resetAccounting();
+        rig.sim.runUntil(horizon);
+
+        Result res;
+        res.mpps =
+            static_cast<double>(host->packetsForwarded() - pkts0) /
+            toUs(rig.sim.now() - t0);
+        res.misordered = guest->orderViolations();
+        res.corrupt = guest->payloadErrors();
+        return res;
+    });
 }
 
 struct LatResult
@@ -74,29 +84,39 @@ runLatency(bool use_dsa, std::uint32_t pkt_bytes, double mpps)
     Rig::Options o;
     o.devices = 1;
     o.engines = 2;
-    Rig rig(o);
-    apps::Virtqueue vq(1024);
-    apps::VhostSwitch::Config cfg;
-    cfg.useDsa = use_dsa;
-    cfg.packetBytes = pkt_bytes;
-    cfg.offeredMpps = mpps;
-    apps::VhostSwitch host(rig.plat, *rig.as, rig.plat.core(0),
-                           rig.exec.get(), vq, cfg);
-    apps::GuestDriver guest(rig.plat, *rig.as, rig.plat.core(1), vq,
-                            2048, 512);
+
     const Tick horizon = fromUs(2500);
-    host.run(horizon);
-    guest.run(horizon);
+    std::unique_ptr<apps::Virtqueue> vq;
+    std::unique_ptr<apps::VhostSwitch> host;
+    std::unique_ptr<apps::GuestDriver> guest;
+
     // Warm caches/TLBs first; measure steady-state latency only.
-    rig.sim.runUntil(fromUs(500));
-    host.latencyHistogram().reset();
-    rig.sim.runUntil(horizon);
-    LatResult r;
-    r.p50 = host.latencyHistogram().percentile(50);
-    r.p99 = host.latencyHistogram().percentile(99);
-    r.p999 = host.latencyHistogram().percentile(99.9);
-    r.drops = host.drops();
-    return r;
+    Scenario sc(o, [&](Rig &rig) {
+        vq = std::make_unique<apps::Virtqueue>(1024);
+        apps::VhostSwitch::Config cfg;
+        cfg.useDsa = use_dsa;
+        cfg.packetBytes = pkt_bytes;
+        cfg.offeredMpps = mpps;
+        host = std::make_unique<apps::VhostSwitch>(
+            rig.plat, *rig.as, rig.plat.core(0), rig.exec.get(),
+            *vq, cfg);
+        guest = std::make_unique<apps::GuestDriver>(
+            rig.plat, *rig.as, rig.plat.core(1), *vq, 2048, 512);
+        host->run(horizon);
+        guest->run(horizon);
+        rig.sim.runUntil(fromUs(500));
+        host->latencyHistogram().reset();
+    });
+
+    return runScenario(sc, [&](Rig &rig) {
+        rig.sim.runUntil(horizon);
+        LatResult r;
+        r.p50 = host->latencyHistogram().percentile(50);
+        r.p99 = host->latencyHistogram().percentile(99);
+        r.p999 = host->latencyHistogram().percentile(99.9);
+        r.drops = host->drops();
+        return r;
+    });
 }
 
 } // namespace

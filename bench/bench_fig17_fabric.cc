@@ -31,7 +31,7 @@ pingpong(bool dsa, std::uint64_t msg, int rounds)
 {
     Rig::Options o;
     o.devices = 4; // libfabric spreads copies over the socket's DSAs
-    Rig rig(o);
+    return runScenario(Scenario(o), [&](Rig &rig) {
     apps::FabricChannel::Config cfg;
     cfg.useDsa = dsa;
     apps::FabricChannel fwd(rig.plat, *rig.as, rig.exec.get(),
@@ -62,6 +62,7 @@ pingpong(bool dsa, std::uint64_t msg, int rounds)
     Drv::go(rig, fwd, rev, a, b, msg, rounds, res);
     rig.sim.run();
     return res;
+    });
 }
 
 double
@@ -69,7 +70,7 @@ bandwidth(bool dsa, std::uint64_t msg, int count)
 {
     Rig::Options o;
     o.devices = 4; // libfabric spreads copies over the socket's DSAs
-    Rig rig(o);
+    return runScenario(Scenario(o), [&](Rig &rig) {
     apps::FabricChannel::Config cfg;
     cfg.useDsa = dsa;
     apps::FabricChannel ch(rig.plat, *rig.as, rig.exec.get(),
@@ -93,6 +94,7 @@ bandwidth(bool dsa, std::uint64_t msg, int count)
     Drv::go(rig, ch, a, b, msg, count, gbps);
     rig.sim.run();
     return gbps;
+    });
 }
 
 double
@@ -100,7 +102,7 @@ allreduceUs(bool dsa, unsigned ranks, std::uint64_t bytes)
 {
     Rig::Options o;
     o.devices = 4; // libfabric spreads copies over the socket's DSAs
-    Rig rig(o);
+    return runScenario(Scenario(o), [&](Rig &rig) {
     apps::RingAllReduce::Config cfg;
     cfg.channel.useDsa = dsa;
     apps::RingAllReduce ar(rig.plat, *rig.as, rig.exec.get(), ranks,
@@ -120,6 +122,7 @@ allreduceUs(bool dsa, unsigned ranks, std::uint64_t bytes)
     Drv::go(rig, ar, bytes, us);
     rig.sim.run();
     return us;
+    });
 }
 
 } // namespace

@@ -29,7 +29,7 @@ trainStep(bool dsa, unsigned ranks, std::uint64_t grad_bytes,
 {
     Rig::Options o;
     o.devices = 4; // libfabric spreads copies over the socket's DSAs
-    Rig rig(o);
+    return runScenario(Scenario(o), [&](Rig &rig) {
     apps::RingAllReduce::Config cfg;
     cfg.channel.useDsa = dsa;
     apps::RingAllReduce ar(rig.plat, *rig.as, rig.exec.get(), ranks,
@@ -52,6 +52,7 @@ trainStep(bool dsa, unsigned ranks, std::uint64_t grad_bytes,
     Drv::go(rig, ar, grad_bytes, compute_ms, res);
     rig.sim.run();
     return res;
+    });
 }
 
 } // namespace

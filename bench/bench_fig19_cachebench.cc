@@ -72,68 +72,62 @@ worker(Platform &plat, AddressSpace &as, apps::MiniCache &cache,
 Stats
 run(unsigned threads, bool use_dsa, int ops_per_thread)
 {
-    Simulation sim;
-    PlatformConfig pc = PlatformConfig::spr();
-    Platform plat(sim, pc);
-    AddressSpace &as = plat.mem().createSpace();
-
     // Four shared WQs (the paper's deployment): one SWQ + one
     // engine on each of the socket's four DSA instances.
-    std::vector<DsaDevice *> devs;
-    for (unsigned d = 0; d < 4; ++d) {
-        DsaDevice &dev = plat.dsa(d);
-        Group &grp = dev.addGroup();
-        dev.addWorkQueue(grp, WorkQueue::Mode::Shared, 16);
-        dev.addEngine(grp);
-        dev.enable();
-        devs.push_back(&dev);
-    }
+    Rig::Options o;
+    o.devices = 4;
+    o.wqSize = 16;
+    o.engines = 1;
+    o.wqMode = WorkQueue::Mode::Shared;
 
-    dml::ExecutorConfig ec;
-    ec.path = dml::Path::Hardware;
-    dml::Executor exec(sim, plat.mem(), plat.kernels(), devs, ec);
-    Dto::Config dc;
-    dc.threshold = use_dsa ? 8192 : ~std::uint64_t(0);
-    Dto dto(exec, plat.kernels(), dc);
-
-    apps::MiniCache::Config cc;
-    cc.capacityBytes = 4ull << 30;
-    apps::MiniCache cache(plat, as, dto, cc);
+    std::unique_ptr<Dto> dto;
+    std::unique_ptr<apps::MiniCache> cache;
 
     // Enough keys that the hot set dwarfs the LLC: copies run cold,
     // as in the paper's 64 GB cloud cache.
     const std::uint64_t keys = 16384;
 
-    // Populate phase (timed into a discarded histogram).
-    {
+    // Warm-up: populate phase (timed into a discarded histogram).
+    Scenario sc(o, [&](Rig &rig) {
+        Dto::Config dc;
+        dc.threshold = use_dsa ? 8192 : ~std::uint64_t(0);
+        dto = std::make_unique<Dto>(*rig.exec, rig.plat.kernels(),
+                                    dc);
+        apps::MiniCache::Config cc;
+        cc.capacityBytes = 4ull << 30;
+        cache = std::make_unique<apps::MiniCache>(rig.plat, *rig.as,
+                                                  *dto, cc);
         Histogram warm;
-        Latch done(sim, 1);
-        worker(plat, as, cache, 0, keys,
+        Latch done(rig.sim, 1);
+        worker(rig.plat, *rig.as, *cache, 0, keys,
                static_cast<int>(keys), warm, done, 1);
-        sim.run();
-    }
+        rig.sim.run();
+    });
 
-    // Measured phase.
-    Histogram lat;
-    Latch done(sim, threads);
-    Tick t0 = sim.now();
-    for (unsigned t = 0; t < threads; ++t) {
-        worker(plat, as, cache, static_cast<int>(t), keys,
-               ops_per_thread, lat, done, 100 + t);
-    }
-    sim.run();
-    Tick elapsed = sim.now() - t0;
+    return runScenario(sc, [&](Rig &rig) {
+        Histogram lat;
+        Latch done(rig.sim, threads);
+        Tick t0 = rig.sim.now();
+        for (unsigned t = 0; t < threads; ++t) {
+            worker(rig.plat, *rig.as, *cache, static_cast<int>(t),
+                   keys, ops_per_thread, lat, done, 100 + t);
+        }
+        rig.sim.run();
+        Tick elapsed = rig.sim.now() - t0;
 
-    Stats s;
-    s.mops = static_cast<double>(lat.count()) / toUs(elapsed);
-    s.p99Us = lat.percentile(99.0);
-    s.p9999Us = lat.percentile(99.99);
-    std::uint64_t total_bytes = dto.bytesOffloaded + dto.bytesOnCpu;
-    s.offloadedByteShare =
-        total_bytes ? 100.0 * static_cast<double>(dto.bytesOffloaded) /
-                          static_cast<double>(total_bytes)
-                    : 0.0;
-    return s;
+        Stats s;
+        s.mops = static_cast<double>(lat.count()) / toUs(elapsed);
+        s.p99Us = lat.percentile(99.0);
+        s.p9999Us = lat.percentile(99.99);
+        std::uint64_t total_bytes =
+            dto->bytesOffloaded + dto->bytesOnCpu;
+        s.offloadedByteShare =
+            total_bytes
+                ? 100.0 * static_cast<double>(dto->bytesOffloaded) /
+                      static_cast<double>(total_bytes)
+                : 0.0;
+        return s;
+    });
 }
 
 } // namespace

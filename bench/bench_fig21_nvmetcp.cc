@@ -31,41 +31,34 @@ run(apps::NvmeTcpTarget::Digest digest, unsigned cores,
     apps::NvmeTcpTarget::Kind kind =
         apps::NvmeTcpTarget::Kind::Read)
 {
-    Simulation sim;
-    PlatformConfig pc = PlatformConfig::spr();
-    Platform plat(sim, pc);
-    AddressSpace &as = plat.mem().createSpace();
-
     // SPDK's accel framework path: a shared WQ, two engines.
-    DsaDevice &dev = plat.dsa(0);
-    Group &grp = dev.addGroup();
-    dev.addWorkQueue(grp, WorkQueue::Mode::Shared, 32);
-    dev.addEngine(grp);
-    dev.addEngine(grp);
-    dev.enable();
+    Rig::Options o;
+    o.devices = 1;
+    o.wqSize = 32;
+    o.engines = 2;
+    o.wqMode = WorkQueue::Mode::Shared;
 
-    dml::ExecutorConfig ec;
-    ec.path = dml::Path::Hardware;
-    dml::Executor exec(sim, plat.mem(), plat.kernels(), {&dev}, ec);
+    return runScenario(Scenario(o), [&](Rig &rig) {
+        apps::NvmeTcpTarget::Config cfg;
+        cfg.kind = kind;
+        cfg.digest = digest;
+        cfg.targetCores = cores;
+        cfg.ioBytes = io_bytes;
+        apps::NvmeTcpTarget target(rig.plat, *rig.as,
+                                   rig.exec.get(), cfg);
+        target.run(horizon);
+        rig.sim.run();
 
-    apps::NvmeTcpTarget::Config cfg;
-    cfg.kind = kind;
-    cfg.digest = digest;
-    cfg.targetCores = cores;
-    cfg.ioBytes = io_bytes;
-    apps::NvmeTcpTarget target(plat, as, &exec, cfg);
-    target.run(horizon);
-    sim.run();
+        if (target.crcMismatches() != 0)
+            std::fprintf(stderr, "warn: %llu digest mismatches!\n",
+                         static_cast<unsigned long long>(
+                             target.crcMismatches()));
 
-    if (target.crcMismatches() != 0)
-        std::fprintf(stderr, "warn: %llu digest mismatches!\n",
-                     static_cast<unsigned long long>(
-                         target.crcMismatches()));
-
-    Point p;
-    p.kiops = target.iops() / 1000.0;
-    p.latUs = target.meanLatencyUs();
-    return p;
+        Point p;
+        p.kiops = target.iops() / 1000.0;
+        p.latUs = target.meanLatencyUs();
+        return p;
+    });
 }
 
 } // namespace

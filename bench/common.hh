@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -27,6 +28,7 @@
 
 #include "dml/dml.hh"
 #include "driver/platform.hh"
+#include "driver/snapshot.hh"
 #include "driver/submitter.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
@@ -211,6 +213,8 @@ class SweepRunner
     unsigned jobCount;
 };
 
+struct RigSnapshot;
+
 /**
  * A measurement rig: a platform with one or more DSA devices in a
  * chosen topology, plus an executor and an address space.
@@ -226,6 +230,8 @@ class Rig
         unsigned wqSize = 32;
         WorkQueue::Mode wqMode = WorkQueue::Mode::Dedicated;
         bool useUmwait = true;
+
+        bool operator==(const Options &) const = default;
     };
 
     explicit Rig(const Options &o)
@@ -244,12 +250,63 @@ class Rig
             sim, plat.mem(), plat.kernels(), devs, ec);
     }
 
+    /**
+     * Fork: rebuild the shape the options describe, then restore the
+     * captured state on top (defined after RigSnapshot below).
+     */
+    explicit Rig(const RigSnapshot &snap);
+
     Options opt;
     Simulation sim;
     Platform plat;
     AddressSpace *as;
     std::unique_ptr<dml::Executor> exec;
 };
+
+/**
+ * Everything needed to fork a Rig: the platform snapshot plus the
+ * executor's plain-data state (the executor sits above the platform,
+ * so Snapshot::capture does not see it) and the options that rebuild
+ * the rig's shape. Immutable once captured; forking from one
+ * RigSnapshot on several threads at once is safe (memory chunks are
+ * shared copy-on-write behind atomically refcounted pointers).
+ */
+struct RigSnapshot
+{
+    Snapshot platform;
+    dml::Executor::State exec;
+    Rig::Options options;
+};
+
+/** Capture a quiesced rig (Snapshot::capture states preconditions). */
+inline std::shared_ptr<const RigSnapshot>
+snapRig(Rig &rig)
+{
+    return std::make_shared<const RigSnapshot>(RigSnapshot{
+        Snapshot::capture(rig.plat), rig.exec->saveState(), rig.opt});
+}
+
+inline Rig::Rig(const RigSnapshot &snap)
+    : opt(snap.options), plat(sim, snap.options.platform), as(nullptr)
+{
+    std::vector<DsaDevice *> devs;
+    for (unsigned i = 0; i < opt.devices; ++i) {
+        Platform::configureBasic(plat.dsa(i), opt.wqSize, opt.engines,
+                                 opt.wqMode);
+        devs.push_back(&plat.dsa(i));
+    }
+    // restoreInto re-anchors the simulation clock/sequence and
+    // recreates the address spaces in creation order; PASID 1 is the
+    // space the source rig's constructor created.
+    snap.platform.restoreInto(plat);
+    as = &plat.mem().space(1);
+    dml::ExecutorConfig ec;
+    ec.path = dml::Path::Hardware;
+    ec.useUmwait = opt.useUmwait;
+    exec = std::make_unique<dml::Executor>(sim, plat.mem(),
+                                           plat.kernels(), devs, ec);
+    exec->restoreState(snap.exec);
+}
 
 /** Scale iteration counts down as transfer sizes grow. */
 inline int
@@ -417,6 +474,170 @@ memMoveRing(Rig &rig, std::uint64_t size, int count = 16,
             src + static_cast<Addr>(i) * size, size));
     }
     return ring;
+}
+
+/**
+ * Snapshot sharing is on by default; DSASIM_SNAPSHOT=0 forces every
+ * sweep point to build and warm its rig cold, through the same code
+ * path (the determinism story: both arms must agree bit for bit).
+ */
+inline bool
+snapshotsEnabled()
+{
+    const char *v = std::getenv("DSASIM_SNAPSHOT");
+    return !(v && std::string_view(v) == "0");
+}
+
+/**
+ * A Scenario splits a benchmark into the phases the snapshot
+ * subsystem cares about:
+ *
+ *   warmup  — builds the state worth sharing: allocations, cache/TLB
+ *             warming, background-traffic ramp. Runs once per
+ *             distinct configuration in a sweep.
+ *   measure — the per-point measurement, supplied to sweepScenarios
+ *             (grids) or runScenario (single-rig benches).
+ *
+ * In a sweep, points with matching setups (sameSetup) share one
+ * warmed rig: it is snapshotted after warm-up and forked per point,
+ * so N points pay for one warm-up instead of N. A forked point's
+ * event stream is bit-identical to a cold point's (the snapshot
+ * contract, DESIGN.md §10), so results do not depend on the gate.
+ *
+ * Sweep warm-ups must leave the rig quiesced — drained devices, idle
+ * calendar; Snapshot::capture fatals otherwise. runScenario captures
+ * nothing, so its warm-up may stop mid-stream (e.g. fig16's
+ * steady-state window).
+ */
+class Scenario
+{
+  public:
+    using SetupFn = std::function<void(Rig &)>;
+
+    Scenario() = default;
+    explicit Scenario(Rig::Options o, SetupFn warmup_fn = nullptr,
+                      std::string warmup_key = "")
+        : opts(std::move(o)), warm(std::move(warmup_fn)),
+          key(std::move(warmup_key))
+    {}
+
+    const Rig::Options &options() const { return opts; }
+
+    /** Run the warm-up phase on @p rig (no-op without one). */
+    void
+    warmup(Rig &rig) const
+    {
+        if (warm)
+            warm(rig);
+    }
+
+    /** Build a cold rig and run the warm-up phase on it. */
+    std::unique_ptr<Rig>
+    warmRig() const
+    {
+        auto rig = std::make_unique<Rig>(opts);
+        warmup(*rig);
+        return rig;
+    }
+
+    /**
+     * Two scenarios may share one warmed rig: identical options and
+     * identically-keyed warm-ups. Anonymous (empty-key) warm-ups
+     * never match — naming the warm-up is the opt-in that asserts it
+     * computes the same thing across points.
+     */
+    bool
+    sameSetup(const Scenario &o) const
+    {
+        if (!(opts == o.opts))
+            return false;
+        if (!warm && !o.warm)
+            return true;
+        if (static_cast<bool>(warm) != static_cast<bool>(o.warm))
+            return false;
+        return !key.empty() && key == o.key;
+    }
+
+  private:
+    Rig::Options opts;
+    SetupFn warm;
+    std::string key;
+};
+
+/**
+ * Single-rig scenario: build, warm up, then measure — the uniform
+ * entry point for benches that drive one platform through a time
+ * window rather than sweeping a grid.
+ */
+template <typename MeasureFn>
+auto
+runScenario(const Scenario &sc, MeasureFn &&measure)
+{
+    auto rig = sc.warmRig();
+    return measure(*rig);
+}
+
+/**
+ * Evaluate measure(rig, i) for each point's scenario, in index
+ * order. Points with matching setups share one warmed, snapshotted
+ * rig and fork from it; with DSASIM_SNAPSHOT=0 every point warms a
+ * cold rig instead. Either way the warm-up runs to an idle calendar
+ * before measurement.
+ */
+template <typename MeasureFn>
+auto
+sweepScenarios(SweepRunner &sweep, const std::vector<Scenario> &pts,
+               MeasureFn &&measure)
+    -> std::vector<decltype(measure(std::declval<Rig &>(),
+                                    std::size_t{}))>
+{
+    using R = decltype(measure(std::declval<Rig &>(), std::size_t{}));
+    const std::size_t n = pts.size();
+    if (!snapshotsEnabled()) {
+        return sweep.run(n, [&](std::size_t i) -> R {
+            auto rig = pts[i].warmRig();
+            rig->sim.run();
+            return measure(*rig, i);
+        });
+    }
+    // Group points by shared setup; the group's first point is the
+    // leader whose warmed rig everyone forks.
+    std::vector<std::size_t> group(n);
+    std::vector<std::size_t> leaders;
+    for (std::size_t i = 0; i < n; ++i) {
+        bool found = false;
+        for (std::size_t g = 0; g < leaders.size() && !found; ++g) {
+            if (pts[leaders[g]].sameSetup(pts[i])) {
+                group[i] = g;
+                found = true;
+            }
+        }
+        if (!found) {
+            group[i] = leaders.size();
+            leaders.push_back(i);
+        }
+    }
+    auto snaps = sweep.run(
+        leaders.size(),
+        [&](std::size_t g) -> std::shared_ptr<const RigSnapshot> {
+            auto rig = pts[leaders[g]].warmRig();
+            rig->sim.run(); // drain to idle: capture precondition
+            return snapRig(*rig);
+        });
+    return sweep.run(n, [&](std::size_t i) -> R {
+        Rig rig(*snaps[group[i]]);
+        return measure(rig, i);
+    });
+}
+
+/** All points share one scenario: the homogeneous-grid case. */
+template <typename MeasureFn>
+auto
+sweepScenario(SweepRunner &sweep, const Scenario &sc, std::size_t n,
+              MeasureFn &&measure)
+{
+    return sweepScenarios(sweep, std::vector<Scenario>(n, sc),
+                          std::forward<MeasureFn>(measure));
 }
 
 } // namespace dsasim::bench

@@ -75,6 +75,8 @@ struct CpuParams
     /** Spin-poll check granularity for completion records. */
     Tick pollInterval = fromNs(50);
 
+    bool operator==(const CpuParams &) const = default;
+
     Tick
     cyclesToTicks(double cycles) const
     {

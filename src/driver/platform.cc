@@ -108,8 +108,34 @@ Platform::Platform(Simulation &s, const PlatformConfig &cfg)
         cbdmas_.push_back(std::make_unique<CbdmaDevice>(
             s, *memSys, cfg.cbdma, static_cast<int>(d), 0));
     }
+    if (!cfg.dsaTopology.empty()) {
+        for (auto &d : dsas_)
+            cfg.dsaTopology.apply(*d);
+    }
     // Opt-in chaos: DSASIM_FAULTS seeds a platform-wide injector.
     setFaultInjector(FaultInjector::fromEnv());
+}
+
+bool
+Platform::quiescent() const
+{
+    for (const auto &d : dsas_)
+        if (!d->quiescent())
+            return false;
+    for (const auto &c : cbdmas_)
+        if (!c->quiescent())
+            return false;
+    return true;
+}
+
+CoTask
+Platform::quiesce()
+{
+    // The fast path must not disturb the event stream: a platform
+    // that is already drained completes synchronously without ever
+    // touching the calendar.
+    while (!quiescent())
+        co_await simulation.delay(fromNs(500));
 }
 
 void
@@ -128,24 +154,13 @@ void
 Platform::configureBasic(DsaDevice &dev, unsigned wq_size,
                          unsigned engines, WorkQueue::Mode mode)
 {
-    Group &g = dev.addGroup();
-    dev.addWorkQueue(g, mode, wq_size, /*priority=*/0);
-    fatal_if(engines == 0, "at least one engine required");
-    for (unsigned e = 0; e < engines; ++e)
-        dev.addEngine(g);
-    dev.enable();
+    DsaTopology::basic(wq_size, engines, mode).apply(dev);
 }
 
 void
 Platform::configureFull(DsaDevice &dev)
 {
-    for (int i = 0; i < 4; ++i) {
-        Group &g = dev.addGroup();
-        dev.addWorkQueue(g, WorkQueue::Mode::Dedicated, 16);
-        dev.addWorkQueue(g, WorkQueue::Mode::Shared, 16);
-        dev.addEngine(g);
-    }
-    dev.enable();
+    DsaTopology::full().apply(dev);
 }
 
 void

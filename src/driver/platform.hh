@@ -27,7 +27,9 @@
 #include "cpu/core.hh"
 #include "cpu/kernels.hh"
 #include "dsa/device.hh"
+#include "dsa/topology.hh"
 #include "mem/mem_system.hh"
+#include "sim/task.hh"
 
 namespace dsasim
 {
@@ -43,6 +45,15 @@ struct PlatformConfig
     CpuParams cpu;
     DsaParams dsa;
     CbdmaParams cbdma;
+
+    /**
+     * Group/WQ/engine layout applied to every DSA device at platform
+     * construction. Leave empty() to build devices unconfigured and
+     * wire them by hand (DsaTopology::apply per device).
+     */
+    DsaTopology dsaTopology;
+
+    bool operator==(const PlatformConfig &) const = default;
 
     /** 4th Gen Xeon Scalable (Sapphire Rapids), the DSA platform. */
     static PlatformConfig spr();
@@ -81,18 +92,31 @@ class Platform
     std::size_t cbdmaCount() const { return cbdmas_.size(); }
 
     /**
-     * The paper's default measurement topology (§4.1): one group,
-     * one DWQ of @p wq_size entries, @p engines PEs.
+     * No queued or in-flight descriptor on any DSA or CBDMA device.
+     * Together with Simulation::idle() this is the precondition for
+     * Snapshot::capture.
+     */
+    bool quiescent() const;
+
+    /**
+     * Awaitable: let the devices drain until quiescent(). Completes
+     * immediately — scheduling zero events — when nothing is in
+     * flight; otherwise polls on a fixed cadence while the engines
+     * work the queues down. Callers must have stopped submitting.
+     */
+    CoTask quiesce();
+
+    /**
+     * @deprecated Thin wrapper over
+     * DsaTopology::basic(wq_size, engines, mode).apply(dev); prefer
+     * PlatformConfig::dsaTopology or DsaTopology directly.
      */
     static void configureBasic(DsaDevice &dev, unsigned wq_size = 32,
                                unsigned engines = 1,
                                WorkQueue::Mode mode =
                                    WorkQueue::Mode::Dedicated);
 
-    /**
-     * Table 2's full SPR configuration: 4 groups, each with 2 WQs
-     * (one dedicated, one shared, 16 entries each) and 1 engine.
-     */
+    /** @deprecated Thin wrapper over DsaTopology::full().apply(dev). */
     static void configureFull(DsaDevice &dev);
 
     /**

@@ -1,0 +1,90 @@
+#include "driver/snapshot.hh"
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+Snapshot
+Snapshot::capture(Platform &p)
+{
+    Snapshot s;
+    s.config = p.cfg();
+    // Devices are rebuilt bare and configured from the per-device
+    // captures below, so a platform whose devices were hand-wired
+    // (differently per device) round-trips exactly.
+    s.config.dsaTopology = DsaTopology{};
+
+    // Calendar first: an idle simulation is the cheapest invariant to
+    // check and its fatal carries the drain hint. Device saveState
+    // then enforces per-device quiescence.
+    s.simState = p.sim().saveState();
+    s.memState = p.mem().saveState();
+    s.coreStates.reserve(p.coreCount());
+    for (std::size_t i = 0; i < p.coreCount(); ++i)
+        s.coreStates.push_back(p.core(i).saveState());
+    s.topologies.reserve(p.dsaCount());
+    s.dsaStates.reserve(p.dsaCount());
+    for (std::size_t i = 0; i < p.dsaCount(); ++i) {
+        s.topologies.push_back(DsaTopology::of(p.dsa(i)));
+        s.dsaStates.push_back(p.dsa(i).saveState());
+    }
+    s.cbdmaStates.reserve(p.cbdmaCount());
+    for (std::size_t i = 0; i < p.cbdmaCount(); ++i)
+        s.cbdmaStates.push_back(p.cbdma(i).saveState());
+    if (FaultInjector *fi = p.injector()) {
+        s.hasInjector = true;
+        s.injectorState = fi->saveState();
+    }
+    return s;
+}
+
+std::unique_ptr<Snapshot::Forked>
+Snapshot::fork() const
+{
+    auto f = std::make_unique<Forked>();
+    // Re-anchor the event kernel before any component exists: every
+    // construction-time now() read then already sees the captured
+    // tick, and events scheduled by the first post-fork task carry
+    // sequence numbers continuing the captured stream.
+    f->sim.restoreState(simState);
+    f->platform = std::make_unique<Platform>(f->sim, config);
+    for (std::size_t i = 0; i < topologies.size(); ++i)
+        topologies[i].apply(f->platform->dsa(i));
+    restoreInto(*f->platform);
+    return f;
+}
+
+void
+Snapshot::restoreInto(Platform &p) const
+{
+    fatal_if(p.coreCount() != coreStates.size() ||
+                 p.dsaCount() != dsaStates.size() ||
+                 p.cbdmaCount() != cbdmaStates.size(),
+             "Snapshot::restoreInto: platform shape mismatch "
+             "(%zu/%zu/%zu cores/DSAs/CBDMAs here, %zu/%zu/%zu in "
+             "snapshot)",
+             p.coreCount(), p.dsaCount(), p.cbdmaCount(),
+             coreStates.size(), dsaStates.size(),
+             cbdmaStates.size());
+    p.sim().restoreState(simState);
+    p.mem().restoreState(memState);
+    for (std::size_t i = 0; i < coreStates.size(); ++i)
+        p.core(i).restoreState(coreStates[i]);
+    for (std::size_t i = 0; i < dsaStates.size(); ++i)
+        p.dsa(i).restoreState(dsaStates[i]);
+    for (std::size_t i = 0; i < cbdmaStates.size(); ++i)
+        p.cbdma(i).restoreState(cbdmaStates[i]);
+    if (hasInjector) {
+        // Replace whatever DSASIM_FAULTS seeded at construction with
+        // the captured injector mid-stream: same rules, same RNG
+        // position, same every=/max= bookkeeping.
+        auto fi = std::make_unique<FaultInjector>();
+        fi->restoreState(injectorState);
+        p.setFaultInjector(std::move(fi));
+    } else {
+        p.setFaultInjector(nullptr);
+    }
+}
+
+} // namespace dsasim

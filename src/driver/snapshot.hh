@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Snapshot: a checkpoint of a quiesced Platform that can be forked
+ * into any number of independent continuations.
+ *
+ * Capture is O(dirty), not O(memory): PhysicalMemory's state is a map
+ * of shared_ptr-owned chunks, so a snapshot shares every chunk with
+ * the source platform and copy-on-write clones only the chunks a run
+ * writes afterwards (see mem/phys_mem.hh).
+ *
+ * Coroutine frames cannot be checkpointed, which dictates the whole
+ * contract (DESIGN.md §10):
+ *
+ *  - capture() requires a *quiesced* platform: an idle event calendar
+ *    (Simulation::saveState fatals otherwise) and no queued or
+ *    in-flight descriptor on any device (the device saveState fatals
+ *    otherwise). Run the simulation until idle — typically after
+ *    `co_await platform.quiesce()` — before capturing.
+ *  - fork() rebuilds a fresh Platform from the captured PlatformConfig
+ *    and per-device DsaTopology, then restores every component's
+ *    plain-data state on top. The rebuilt engines park on their empty
+ *    group arbiters exactly as the quiesced originals did, so a
+ *    forked run's event stream is bit-identical to simply continuing
+ *    the source.
+ *  - Workload coroutines are not platform state. A forked run
+ *    re-issues its measurement phase from scratch (bench/common.hh
+ *    Scenario::measure).
+ */
+
+#ifndef DSASIM_DRIVER_SNAPSHOT_HH
+#define DSASIM_DRIVER_SNAPSHOT_HH
+
+#include <memory>
+#include <vector>
+
+#include "driver/platform.hh"
+
+namespace dsasim
+{
+
+class Snapshot
+{
+  public:
+    /**
+     * Checkpoint @p p. Fatal with a drain hint if the calendar is
+     * non-empty or any device still holds descriptors.
+     */
+    static Snapshot capture(Platform &p);
+
+    /** An independent simulation + platform pair forked off a snapshot. */
+    struct Forked
+    {
+        Simulation sim;
+        std::unique_ptr<Platform> platform;
+
+        Platform &plat() { return *platform; }
+    };
+
+    /**
+     * Materialize an independent continuation: a fresh Simulation
+     * re-anchored at the captured tick/sequence/hash, and a fresh
+     * Platform rebuilt from the captured config + topology with all
+     * component state restored. Forks share unwritten memory chunks
+     * with the source and each other (copy-on-write).
+     */
+    std::unique_ptr<Forked> fork() const;
+
+    /**
+     * Rewind an existing platform to this snapshot in place. The
+     * platform must be quiesced and its device topology must match
+     * the captured one (counts are checked; apply DsaTopology first
+     * if it does not).
+     */
+    void restoreInto(Platform &p) const;
+
+    Tick capturedAt() const { return simState.now; }
+    const PlatformConfig &platformConfig() const { return config; }
+
+  private:
+    Snapshot() = default;
+
+    PlatformConfig config; ///< dsaTopology cleared; applied per device
+    std::vector<DsaTopology> topologies; ///< one per DSA device
+    Simulation::State simState;
+    MemSystem::State memState;
+    std::vector<Core::State> coreStates;
+    std::vector<DsaDevice::State> dsaStates;
+    std::vector<CbdmaDevice::State> cbdmaStates;
+    bool hasInjector = false;
+    FaultInjector::State injectorState;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DRIVER_SNAPSHOT_HH

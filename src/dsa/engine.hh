@@ -47,6 +47,52 @@ class Engine
     Tick stallTicks = 0; ///< time blocked on faults/translation
     /// @}
 
+    /**
+     * Checkpointable (sim/checkpoint.hh): the statistics above. The
+     * processing loop itself is rebuild-time state — a quiesced
+     * engine is parked on its group's empty arbiter, exactly where a
+     * freshly start()ed engine parks — and the scratch buffers are
+     * dead outside a descriptor.
+     */
+    struct State
+    {
+        std::uint64_t descriptorsProcessed = 0;
+        std::uint64_t batchesProcessed = 0;
+        std::uint64_t bytesRead = 0;
+        std::uint64_t bytesWritten = 0;
+        std::uint64_t pageFaults = 0;
+        std::uint64_t atcMisses = 0;
+        std::uint64_t hangs = 0;
+        std::uint64_t injectedErrors = 0;
+        Tick busyTicks = 0;
+        Tick stallTicks = 0;
+    };
+
+    State
+    saveState() const
+    {
+        return State{descriptorsProcessed, batchesProcessed,
+                     bytesRead,            bytesWritten,
+                     pageFaults,           atcMisses,
+                     hangs,                injectedErrors,
+                     busyTicks,            stallTicks};
+    }
+
+    void
+    restoreState(const State &st)
+    {
+        descriptorsProcessed = st.descriptorsProcessed;
+        batchesProcessed = st.batchesProcessed;
+        bytesRead = st.bytesRead;
+        bytesWritten = st.bytesWritten;
+        pageFaults = st.pageFaults;
+        atcMisses = st.atcMisses;
+        hangs = st.hangs;
+        injectedErrors = st.injectedErrors;
+        busyTicks = st.busyTicks;
+        stallTicks = st.stallTicks;
+    }
+
   private:
     SimTask run();
     CoTask process(Work w);

@@ -75,6 +75,8 @@ struct DsaParams
 
     /** Per-line cost of the Cache Flush operation. */
     Tick flushPerLine = fromNs(1.0);
+
+    bool operator==(const DsaParams &) const = default;
 };
 
 } // namespace dsasim

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "dsa/descriptor.hh"
+#include "sim/logging.hh"
 #include "sim/ticks.hh"
 
 namespace dsasim
@@ -93,6 +94,39 @@ class WorkQueue
         flushed.swap(entries);
         flushedTotal += flushed.size();
         return flushed;
+    }
+
+    /**
+     * Checkpointable (sim/checkpoint.hh): arbiter bookkeeping and
+     * counters. Queued entries are deliberately NOT state — they
+     * hold host pointers to live completion records, so a snapshot
+     * refuses to capture a non-empty WQ (the quiesce rule).
+     */
+    struct State
+    {
+        std::uint64_t lastServed = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t flushedTotal = 0;
+    };
+
+    State
+    saveState() const
+    {
+        fatal_if(!entries.empty(),
+                 "snapshot of WQ %d with %zu queued descriptor(s) — "
+                 "drain the device first (Platform::quiesce())",
+                 id, entries.size());
+        return State{lastServed, accepted, rejected, flushedTotal};
+    }
+
+    void
+    restoreState(const State &st)
+    {
+        lastServed = st.lastServed;
+        accepted = st.accepted;
+        rejected = st.rejected;
+        flushedTotal = st.flushedTotal;
     }
 
     const int id;

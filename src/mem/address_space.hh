@@ -189,13 +189,7 @@ class AddressSpace
     /** Page size used by the region containing @p va. */
     PageSize pageSizeOf(Addr va) const;
 
-  private:
-    /** One page-bounded writable span starting at @p va. */
-    Span spanAt(Addr va, std::uint64_t max_len, const char *what);
-    /** One page-bounded readable span (nullptr when never written). */
-    ConstSpan constSpanAt(Addr va, std::uint64_t max_len,
-                          const char *what) const;
-
+    /** Allocation record; public only for Checkpointable::State. */
     struct Region
     {
         Addr vaBase;
@@ -203,6 +197,40 @@ class AddressSpace
         PageSize pageSize;
         int nodeId;
     };
+
+    /**
+     * Checkpointable (sim/checkpoint.hh): page table (present bits
+     * included), allocation regions, and the bump-allocator cursor —
+     * a fork that alloc()s more memory must place it at the same VA
+     * the source would have.
+     */
+    struct State
+    {
+        PageTable::State pt;
+        std::vector<Region> regions;
+        Addr allocNext = 0;
+    };
+
+    State
+    saveState() const
+    {
+        return State{pt.saveState(), regions, allocNext};
+    }
+
+    void
+    restoreState(const State &st)
+    {
+        pt.restoreState(st.pt);
+        regions = st.regions;
+        allocNext = st.allocNext;
+    }
+
+  private:
+    /** One page-bounded writable span starting at @p va. */
+    Span spanAt(Addr va, std::uint64_t max_len, const char *what);
+    /** One page-bounded readable span (nullptr when never written). */
+    ConstSpan constSpanAt(Addr va, std::uint64_t max_len,
+                          const char *what) const;
 
     MemSystem &mem;
     Pasid id_;

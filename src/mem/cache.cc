@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace dsasim
@@ -199,6 +201,39 @@ CacheModel::invalidateAll()
     ++flushEpoch;
     validLines = 0;
     ownerLines.clear();
+}
+
+CacheModel::State
+CacheModel::saveState() const
+{
+    State st;
+    st.useClock = useClock;
+    st.validLines.reserve(validLines);
+    for (std::uint64_t i = 0; i < lines.size(); ++i) {
+        if (lineValid(lines[i]))
+            st.validLines.emplace_back(i, lines[i]);
+    }
+    return st;
+}
+
+void
+CacheModel::restoreState(const State &st)
+{
+    std::fill(lines.begin(), lines.end(), Line{});
+    ownerLines.clear();
+    flushEpoch = 0;
+    useClock = st.useClock;
+    validLines = st.validLines.size();
+    for (const auto &[idx, saved] : st.validLines) {
+        panic_if(idx >= lines.size(),
+                 "CacheModel::restoreState: line index %llu out of "
+                 "range — geometry mismatch with snapshot",
+                 static_cast<unsigned long long>(idx));
+        Line &l = lines[idx];
+        l = saved;
+        l.epoch = flushEpoch;
+        ++ownerLines[l.owner];
+    }
 }
 
 } // namespace dsasim

@@ -35,6 +35,8 @@ class CacheModel
         std::uint64_t sizeBytes = 105ull << 20; ///< SPR: 105 MB LLC
         unsigned ways = 15;
         unsigned ddioWays = 2;
+
+        bool operator==(const Config &) const = default;
     };
 
     struct AccessResult
@@ -117,7 +119,7 @@ class CacheModel
                cacheLineSize;
     }
 
-  private:
+    /** Directory line; public only for Checkpointable::State. */
     struct Line
     {
         std::uint64_t tag = 0;
@@ -127,6 +129,25 @@ class CacheModel
         bool valid = false;
         bool dirty = false;
     };
+
+    /**
+     * Checkpointable (sim/checkpoint.hh): the currently-valid lines,
+     * stored sparsely as (way index, line) pairs — O(occupied), not
+     * O(capacity) — plus the LRU use clock they are ordered by.
+     * Epoch-stale lines restore as free ways, which victim() treats
+     * identically to stale-epoch lines, so replacement decisions are
+     * unchanged. Occupancy accounting is rebuilt from the lines.
+     */
+    struct State
+    {
+        std::vector<std::pair<std::uint64_t, Line>> validLines;
+        std::uint64_t useClock = 0;
+    };
+
+    State saveState() const;
+    void restoreState(const State &st);
+
+  private:
 
     /** Valid under the current flush epoch (invalidateAll is O(1)). */
     bool

@@ -27,6 +27,8 @@ struct IommuConfig
     Tick iotlbHitLatency = fromNs(10);
     Tick pageWalkLatency = fromNs(250);
     Tick faultServiceLatency = fromUs(5); ///< OS demand-paging round trip
+
+    bool operator==(const IommuConfig &) const = default;
 };
 
 class Iommu
@@ -93,6 +95,31 @@ class Iommu
 
     TranslationCache &tlb() { return iotlb; }
     const IommuConfig &cfg() const { return config; }
+
+    /**
+     * Checkpointable (sim/checkpoint.hh): the IOTLB contents and the
+     * injected-fault counter. The fault-injector attachment is
+     * positional — the restoring platform wires up its own injector
+     * (whose state rides in FaultInjector::State).
+     */
+    struct State
+    {
+        TranslationCache::State iotlb;
+        std::uint64_t injectedFaults = 0;
+    };
+
+    State
+    saveState() const
+    {
+        return State{iotlb.saveState(), injectedFaults};
+    }
+
+    void
+    restoreState(const State &st)
+    {
+        iotlb.restoreState(st.iotlb);
+        injectedFaults = st.injectedFaults;
+    }
 
     /// @name Fault injection (optional; nullptr = fault-free).
     /// @{

@@ -98,6 +98,27 @@ class PageTable
 
     std::size_t mappingCount() const { return table.size(); }
 
+    /**
+     * Checkpointable (sim/checkpoint.hh): the full mapping table,
+     * present bits included (an evicted page stays evicted across a
+     * fork). The MRU probe indices are a pure lookup accelerator and
+     * restore cold — they cannot affect timing or results.
+     */
+    struct State
+    {
+        std::vector<Mapping> table;
+    };
+
+    State saveState() const { return State{table}; }
+
+    void
+    restoreState(const State &st)
+    {
+        table = st.table;
+        lastIdx = noCache;
+        prevIdx = noCache;
+    }
+
   private:
     static constexpr std::size_t noCache = ~std::size_t{0};
 

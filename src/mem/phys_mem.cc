@@ -19,9 +19,18 @@ PhysicalMemory::chunkFor(Addr pa)
         return c;
     auto it = chunks.find(idx);
     if (it == chunks.end()) {
-        auto mem = std::make_unique<std::uint8_t[]>(chunkSize);
-        std::memset(mem.get(), 0, chunkSize);
+        // Value-initialized: untouched memory reads as zero.
+        auto mem = std::make_shared<std::uint8_t[]>(chunkSize);
         it = chunks.emplace(idx, std::move(mem)).first;
+    } else if (it->second.use_count() > 1) {
+        // Copy-on-write: a snapshot (or the platform it forked from)
+        // still references this chunk. use_count() == 1 is a stable
+        // "exclusively ours" signal even with concurrent forks:
+        // nobody else can gain a reference except through this map.
+        auto clone =
+            std::make_shared_for_overwrite<std::uint8_t[]>(chunkSize);
+        std::memcpy(clone.get(), it->second.get(), chunkSize);
+        it->second = std::move(clone);
     }
     cacheInsert(idx, it->second.get());
     return cachedChunk;
@@ -43,8 +52,12 @@ PhysicalMemory::chunkForConst(Addr pa) const
         // on this index must still materialize it.
         return nullptr;
     }
-    cacheInsert(idx, it->second.get());
-    return cachedChunk;
+    // A shared chunk must stay out of the cache: the non-const
+    // hostSpan fast path would hand its cached pointer out writable,
+    // bypassing the copy-on-write clone above.
+    if (it->second.use_count() == 1)
+        cacheInsert(idx, it->second.get());
+    return it->second.get();
 }
 
 void
@@ -91,6 +104,30 @@ PhysicalMemory::fill(Addr pa, std::uint8_t value, std::uint64_t len)
         pa += run;
         len -= run;
     }
+}
+
+PhysicalMemory::State
+PhysicalMemory::saveState() const
+{
+    // Sharing the map bumps every chunk's refcount past 1; any
+    // pointer previously handed out via hostSpan must be considered
+    // stale from here on (the next write clones). Drop our own cache
+    // so we obey the same rule.
+    cacheDrop();
+    return State{capacity, chunks};
+}
+
+void
+PhysicalMemory::restoreState(const State &st)
+{
+    fatal_if(capacity != st.capacity,
+             "PhysicalMemory::restoreState: capacity mismatch "
+             "(target 0x%llx, snapshot 0x%llx) — restore requires an "
+             "identically configured platform",
+             static_cast<unsigned long long>(capacity),
+             static_cast<unsigned long long>(st.capacity));
+    chunks = st.chunks;
+    cacheDrop();
 }
 
 } // namespace dsasim

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/types.hh"
 
@@ -100,6 +101,37 @@ class TranslationCache
     {
         hitCount = 0;
         missCount = 0;
+    }
+
+    /**
+     * Checkpointable (sim/checkpoint.hh): entries in exact recency
+     * order (MRU first) plus the hit/miss counters — future
+     * evictions depend on the full LRU ordering, not just the set.
+     */
+    struct State
+    {
+        std::vector<std::uint64_t> entriesMruFirst;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    State
+    saveState() const
+    {
+        return State{{lru.begin(), lru.end()}, hitCount, missCount};
+    }
+
+    void
+    restoreState(const State &st)
+    {
+        clear();
+        // push_back preserves the saved order: front stays MRU.
+        for (std::uint64_t k : st.entriesMruFirst) {
+            lru.push_back(k);
+            index[k] = std::prev(lru.end());
+        }
+        hitCount = st.hits;
+        missCount = st.misses;
     }
 
   private:

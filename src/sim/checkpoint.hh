@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Checkpointable contract (DESIGN.md §10).
+ *
+ * A stateful component participates in snapshot/fast-forward by
+ * exposing a plain-data `State` type plus `saveState()` /
+ * `restoreState()`. Restore never resurrects live coroutines or
+ * pending events — a snapshot may only be taken of a *quiesced*
+ * component — so `State` is ordinary copyable data: clocks, tables,
+ * tags, counters, RNG state, and (for the physical backing store)
+ * copy-on-write references to 2 MiB chunks.
+ *
+ * The contract, checked statically by the `Checkpointable` concept
+ * and `DSASIM_ASSERT_CHECKPOINTABLE`:
+ *
+ *  - `saveState()` is const and captures every bit of simulation-
+ *    visible state the component owns that can influence future
+ *    timing, functional results, or statistics output.
+ *  - `restoreState(st)` applied to a freshly *rebuilt* component
+ *    (same configuration) makes its future behavior — event stream
+ *    (tick, seq) order, data, CSV output — byte-identical to the
+ *    component the state was saved from.
+ *  - `State` owns what it references (deep copies or shared
+ *    copy-on-write chunks); it stays valid after the source
+ *    component is destroyed and may be restored from many threads
+ *    concurrently into disjoint targets.
+ */
+
+#ifndef DSASIM_SIM_CHECKPOINT_HH
+#define DSASIM_SIM_CHECKPOINT_HH
+
+#include <concepts>
+
+namespace dsasim
+{
+
+template <typename T>
+concept Checkpointable =
+    std::copyable<typename T::State> &&
+    requires(const T &src, T &dst, const typename T::State &st) {
+        { src.saveState() } -> std::same_as<typename T::State>;
+        dst.restoreState(st);
+    };
+
+/** Compile-time enforcement, placed next to each implementation. */
+#define DSASIM_ASSERT_CHECKPOINTABLE(T)                              \
+    static_assert(::dsasim::Checkpointable<T>,                       \
+                  #T " must implement the Checkpointable contract")
+
+} // namespace dsasim
+
+#endif // DSASIM_SIM_CHECKPOINT_HH

@@ -176,6 +176,39 @@ Simulation::run()
     return currentTick;
 }
 
+Simulation::State
+Simulation::saveState() const
+{
+    fatal_if(!idle(),
+             "Simulation::saveState: %llu event(s) still pending — "
+             "snapshots may only be taken of a quiesced simulation "
+             "(run until idle, or co_await Platform::quiesce())",
+             static_cast<unsigned long long>(pendingCount));
+    return State{currentTick, nextSeq, executedCount, hashState,
+                 hashEnabled};
+}
+
+void
+Simulation::restoreState(const State &st)
+{
+    fatal_if(!idle(),
+             "Simulation::restoreState: target kernel has %llu "
+             "pending event(s); restore requires a fresh or drained "
+             "simulation",
+             static_cast<unsigned long long>(pendingCount));
+    currentTick = st.now;
+    nextSeq = st.nextSeq;
+    executedCount = st.executed;
+    hashState = st.hash;
+    hashEnabled = st.hashOn;
+    // Re-anchor the calendar window at the restored clock so the
+    // first post-restore pushEvent lands in the same bucket (and
+    // thus executes in the same (when, seq) order) as it would have
+    // in the source simulation.
+    curBucket = st.now >> bucketShift;
+    stageLast = st.now;
+}
+
 Tick
 Simulation::runUntil(Tick until)
 {

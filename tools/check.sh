@@ -35,6 +35,13 @@ echo "== Determinism check (event-stream hash, two runs) =="
 "$root/build-release/tools/determinism_check" --n=2000 --seed=1 \
     --faults='page-fault:p=0.05;hang:every=701;wq-reject:p=0.01'
 
+echo "== Snapshot determinism (cold vs forked continuations) =="
+"$root/build-release/tools/determinism_check" --fork --n=2000 \
+    --seed=1
+"$root/build-release/tools/determinism_check" --fork --n=2000 \
+    --seed=1 \
+    --faults='page-fault:p=0.05;hang:every=701;wq-reject:p=0.01'
+
 echo "== ASan/UBSan build + tests =="
 # Leak checking stays off: SimTask coroutines are fire-and-forget by
 # design (sim/task.hh), so tearing a platform down mid-run abandons

@@ -20,7 +20,16 @@
  * unordered-container iteration or address-dependent ordering in sim
  * code all show up here as a hash mismatch.
  *
+ * With --fork the harness instead guards the snapshot contract
+ * (DESIGN.md §10): it runs the first half of the mix, captures a
+ * Snapshot of the quiesced platform, then plays the second half two
+ * ways — continuing on the original platform ("cold") and on two
+ * independent Snapshot::fork() continuations — and requires all
+ * three fingerprints to be identical. A divergence means fork()
+ * failed to reproduce some piece of platform state.
+ *
  * Usage: determinism_check [--n=2000] [--seed=42] [--faults=SPEC]
+ *                          [--fork]
  */
 
 #include <cstdio>
@@ -30,6 +39,7 @@
 
 #include "dml/dml.hh"
 #include "driver/platform.hh"
+#include "driver/snapshot.hh"
 #include "sim/random.hh"
 
 using namespace dsasim;
@@ -42,6 +52,7 @@ struct Options
     std::uint64_t n = 2000;
     std::uint64_t seed = 42;
     std::string faults; ///< empty = no injection
+    bool fork = false;  ///< cold-vs-forked instead of run-vs-rerun
 };
 
 struct Fingerprint
@@ -173,6 +184,107 @@ print(const char *label, const Fingerprint &fp)
                 toUs(fp.endTick));
 }
 
+/**
+ * Snapshot-contract guard (--fork): run half the mix, capture a
+ * Snapshot of the quiesced platform, then play the second half three
+ * ways — continuing cold on the source platform and on two
+ * independent Snapshot::fork() continuations (the second forked
+ * *after* the first fork and the cold run have both mutated their
+ * copies, exercising copy-on-write isolation). All three
+ * fingerprints must be identical.
+ */
+int
+runForkCheck(const Options &opt)
+{
+    const std::uint64_t n_a = opt.n / 2;
+    const std::uint64_t n_b = opt.n - n_a;
+    const std::uint64_t seed_b = opt.seed ^ 0xb5c0ffeeull;
+
+    Simulation sim;
+    sim.enableStreamHash(true);
+    PlatformConfig cfg = PlatformConfig::spr();
+    cfg.numCores = 2;
+    cfg.numDsaDevices = 1;
+    for (auto &node : cfg.mem.nodes)
+        node.capacityBytes = 1ull << 30;
+    Platform plat(sim, cfg);
+    Platform::configureBasic(plat.dsa(0), 32, 2);
+
+    if (!opt.faults.empty()) {
+        plat.setFaultInjector(
+            FaultInjector::fromSpec(opt.faults, opt.seed));
+    }
+
+    dml::ExecutorConfig ec;
+    ec.path = dml::Path::Hardware;
+    ec.watchdogTimeout = fromUs(500);
+    dml::Executor exec(sim, plat.mem(), plat.kernels(),
+                       std::vector<DsaDevice *>{&plat.dsa(0)}, ec);
+
+    AddressSpace &as = plat.mem().createSpace();
+    const std::uint64_t span = 1 << 20;
+    Addr src = as.alloc(span);
+    Addr dst = as.alloc(span);
+    {
+        Rng init(opt.seed ^ 0x9e3779b97f4a7c15ull);
+        std::vector<std::uint8_t> buf(span);
+        for (auto &b : buf)
+            b = static_cast<std::uint8_t>(init.next32());
+        as.write(src, buf.data(), span);
+        as.write(dst, buf.data(), span);
+    }
+
+    // Phase A, then checkpoint the drained platform.
+    std::uint64_t hash_a = 0;
+    driver(plat, exec, as, opt.seed, n_a, src, dst, span, hash_a);
+    sim.run();
+    Snapshot snap = Snapshot::capture(plat);
+    dml::Executor::State exec_state = exec.saveState();
+
+    auto phaseB = [&](Simulation &s, Platform &p, dml::Executor &e,
+                      AddressSpace &space) {
+        Fingerprint fp;
+        driver(p, e, space, seed_b, n_b, src, dst, span,
+               fp.completionHash);
+        s.run();
+        fp.streamHash = s.streamHash();
+        fp.eventsExecuted = s.eventsExecuted();
+        fp.endTick = s.now();
+        return fp;
+    };
+    auto forkArm = [&]() {
+        auto f = snap.fork();
+        dml::Executor fe(f->sim, f->plat().mem(),
+                         f->plat().kernels(),
+                         std::vector<DsaDevice *>{&f->plat().dsa(0)},
+                         ec);
+        fe.restoreState(exec_state);
+        return phaseB(f->sim, f->plat(), fe,
+                      f->plat().mem().space(1));
+    };
+
+    Fingerprint fork1 = forkArm();
+    Fingerprint cold = phaseB(sim, plat, exec, as);
+    Fingerprint fork2 = forkArm();
+    print("cold  ", cold);
+    print("fork 1", fork1);
+    print("fork 2", fork2);
+
+    if (!(cold == fork1) || !(cold == fork2)) {
+        std::fprintf(stderr,
+                     "FAIL: a forked continuation diverged from the "
+                     "cold run — Snapshot::fork() did not reproduce "
+                     "the captured platform state\n");
+        return 1;
+    }
+    std::printf("determinism_check --fork: PASS (%llu+%llu "
+                "descriptors, seed %llu)\n",
+                static_cast<unsigned long long>(n_a),
+                static_cast<unsigned long long>(n_b),
+                static_cast<unsigned long long>(opt.seed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -193,13 +305,18 @@ main(int argc, char **argv)
             opt.seed = std::strtoull(v2, nullptr, 0);
         else if (const char *v3 = val("--faults="))
             opt.faults = v3;
+        else if (a == "--fork")
+            opt.fork = true;
         else {
             std::fprintf(stderr,
                          "usage: determinism_check [--n=N] "
-                         "[--seed=S] [--faults=SPEC]\n");
+                         "[--seed=S] [--faults=SPEC] [--fork]\n");
             return 2;
         }
     }
+
+    if (opt.fork)
+        return runForkCheck(opt);
 
     Fingerprint first = runScenario(opt);
     print("run 1", first);
