@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Host-side payoff of partitioned parallel simulation (DESIGN.md
+ * §11): one Fig. 6-style 4-socket scenario — dense per-socket DSA
+ * memmove pipelines at queue depth 32 plus cross-socket UPI push
+ * traffic — simulated on 1, 2 and 4 worker threads, self-relative
+ * wall-clock. The scenario, its event streams and its stream hash
+ * are identical for every thread count (that equality is asserted on
+ * every run, and is the part of the gate that runs everywhere); the
+ * only thing the thread count may change is how long the host takes.
+ *
+ * The cross-link protocol ships 256 KiB blocks, and
+ * ClusterConfig::lookaheadBytes raises the channel lookahead floor
+ * by that serialization time (~4.4 us at 60 GB/s), so conservative
+ * epochs are long enough to amortize the two barriers each costs.
+ *
+ * Metrics:
+ *   events_per_sec at 1/2/4 threads (best of --trials), and
+ *   speedup_2 / speedup_4 relative to the 1-thread run. events,
+ *   end_us and stream_hash are simulated quantities — bit-identical
+ *   across thread counts, trials and hosts — and --check compares
+ *   them to the committed JSON exactly.
+ *
+ * Usage:
+ *   bench_parallel [--n=DESC] [--trials=3] [--json=PATH]
+ *                  [--check=PATH [--tol=0.2]]
+ *
+ * --check loads a committed JSON and fails if (a) the simulated
+ * fingerprint (events, end_us, stream_hash) differs at all, (b) the
+ * serial event rate fell more than --tol below the committed value,
+ * or (c) — only on hosts with >= 4 hardware threads, since speedup
+ * on fewer cores measures the scheduler, not the simulator —
+ * speedup_4 is below 2.5x.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "driver/cluster.hh"
+#include "sim/random.hh"
+
+namespace dsasim::bench
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct Params
+{
+    int descriptors = 1500; ///< per socket
+    int depth = 32;         ///< outstanding descriptors per socket
+    int trials = 3;
+    std::uint64_t descSize = 64 << 10;
+    std::uint64_t blockBytes = 256 << 10; ///< UPI push block
+    int blocks = 96;                      ///< pushes per socket
+};
+
+ClusterConfig
+clusterConfig(const Params &p)
+{
+    ClusterConfig cc;
+    cc.sockets = 4;
+    cc.socket = PlatformConfig::spr();
+    cc.socket.numCores = 2;
+    cc.socket.numDsaDevices = 1;
+    cc.socket.dsaTopology = DsaTopology::basic(32, 4);
+    for (auto &node : cc.socket.mem.nodes)
+        node.capacityBytes = 1ull << 30;
+    // The protocol ships blockBytes per push; declaring that to the
+    // channels buys epochs long enough to amortize barrier cost.
+    cc.lookaheadBytes = p.blockBytes;
+    return cc;
+}
+
+/** Depth-@p windowed memmove pipeline on one socket. */
+SimTask
+socketLoad(Simulation &sim, Platform &plat, dml::Executor &exec,
+           std::vector<WorkDescriptor> ring, int total, int depth)
+{
+    Core &core = plat.core(0);
+    Semaphore window(sim, static_cast<std::uint64_t>(depth));
+    Latch all(sim, static_cast<std::uint64_t>(total));
+
+    struct Waiter
+    {
+        static SimTask
+        drain(std::unique_ptr<dml::Job> job, Semaphore &win,
+              Latch &done)
+        {
+            if (!job->cr.isDone())
+                co_await job->cr.done.wait();
+            win.release();
+            done.arrive();
+        }
+    };
+
+    for (int i = 0; i < total; ++i) {
+        const WorkDescriptor &d =
+            ring[static_cast<std::size_t>(i) % ring.size()];
+        if (i > 0 && static_cast<std::size_t>(i) % ring.size() == 0)
+            plat.mem().cache().invalidateAll();
+        co_await window.acquire();
+        auto job = exec.prepare(d);
+        co_await exec.submit(core, *job);
+        Waiter::drain(std::move(job), window, all);
+    }
+    co_await all.wait();
+}
+
+/** Cross-socket stream: @p blocks pushes to the ring neighbor. */
+SimTask
+remoteLoad(RemotePort &port, std::uint64_t block, int blocks)
+{
+    for (int i = 0; i < blocks; ++i)
+        co_await port.push(block);
+}
+
+struct RunResult
+{
+    double secs = 0; ///< best-of-trials wall clock
+    std::uint64_t streamHash = 0;
+    std::uint64_t events = 0;
+    Tick endTick = 0;
+    std::uint64_t epochs = 0;
+};
+
+RunResult
+runAt(unsigned threads, const Params &p)
+{
+    RunResult best;
+    for (int trial = 0; trial < p.trials; ++trial) {
+        SocketCluster cl(clusterConfig(p));
+        cl.enableStreamHash(true);
+        std::vector<std::unique_ptr<dml::Executor>> execs;
+        for (unsigned s = 0; s < cl.socketCount(); ++s) {
+            Platform &plat = cl.plat(s);
+            dml::ExecutorConfig ec;
+            ec.path = dml::Path::Hardware;
+            execs.push_back(std::make_unique<dml::Executor>(
+                cl.sim(s), plat.mem(), plat.kernels(),
+                std::vector<DsaDevice *>{&plat.dsa(0)}, ec));
+            dml::Executor *e = execs.back().get();
+            AddressSpace &as = plat.mem().createSpace();
+            const int count = 16;
+            Addr src = as.alloc(p.descSize * count);
+            Addr dst = as.alloc(p.descSize * count);
+            std::vector<WorkDescriptor> ring;
+            for (int i = 0; i < count; ++i) {
+                ring.push_back(dml::Executor::memMove(
+                    as, dst + static_cast<Addr>(i) * p.descSize,
+                    src + static_cast<Addr>(i) * p.descSize,
+                    p.descSize));
+            }
+            socketLoad(cl.sim(s), plat, *e, std::move(ring),
+                       p.descriptors, p.depth);
+            remoteLoad(cl.port(s, (s + 1) % cl.socketCount()),
+                       p.blockBytes, p.blocks);
+        }
+
+        const auto t0 = Clock::now();
+        cl.run(threads);
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0)
+                .count();
+
+        RunResult r;
+        r.secs = secs;
+        r.streamHash = cl.streamHash();
+        r.events = cl.eventsExecuted();
+        r.endTick = cl.endTick();
+        r.epochs = cl.partitions().epochsRun();
+        if (trial == 0) {
+            best = r;
+        } else {
+            // Trials are fresh identical clusters: simulated results
+            // must be bit-identical, only wall-clock may move.
+            if (r.streamHash != best.streamHash ||
+                r.events != best.events ||
+                r.endTick != best.endTick) {
+                std::fprintf(stderr,
+                             "bench_parallel: trial %d diverged at "
+                             "%u threads (hash %016llx vs %016llx)\n",
+                             trial, threads,
+                             static_cast<unsigned long long>(
+                                 r.streamHash),
+                             static_cast<unsigned long long>(
+                                 best.streamHash));
+                std::exit(1);
+            }
+            best.secs = std::min(best.secs, r.secs);
+        }
+    }
+    return best;
+}
+
+struct Metrics
+{
+    unsigned hwThreads = 0;
+    std::uint64_t events = 0;
+    Tick endTick = 0;
+    std::uint64_t streamHash = 0;
+    std::uint64_t epochs = 0;
+    double rate1 = 0, rate2 = 0, rate4 = 0;
+    double speedup2 = 0, speedup4 = 0;
+};
+
+Metrics
+measure(const Params &p)
+{
+    Metrics m;
+    m.hwThreads =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    RunResult r1 = runAt(1, p);
+    RunResult r2 = runAt(2, p);
+    RunResult r4 = runAt(4, p);
+
+    // The determinism gate proper: thread count must not leak into
+    // the simulation. This holds (and is enforced) on every host.
+    if (r1.streamHash != r2.streamHash ||
+        r1.streamHash != r4.streamHash || r1.events != r2.events ||
+        r1.events != r4.events || r1.endTick != r2.endTick ||
+        r1.endTick != r4.endTick) {
+        std::fprintf(stderr,
+                     "bench_parallel: FAIL — thread count changed "
+                     "the simulation (hashes %016llx / %016llx / "
+                     "%016llx)\n",
+                     static_cast<unsigned long long>(r1.streamHash),
+                     static_cast<unsigned long long>(r2.streamHash),
+                     static_cast<unsigned long long>(r4.streamHash));
+        std::exit(1);
+    }
+
+    m.events = r1.events;
+    m.endTick = r1.endTick;
+    m.streamHash = r1.streamHash;
+    m.epochs = r4.epochs;
+    const double ev = static_cast<double>(r1.events);
+    m.rate1 = ev / r1.secs;
+    m.rate2 = ev / r2.secs;
+    m.rate4 = ev / r4.secs;
+    m.speedup2 = r1.secs / r2.secs;
+    m.speedup4 = r1.secs / r4.secs;
+    return m;
+}
+
+void
+emit(std::FILE *f, const Metrics &m)
+{
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"parallel\",\n"
+        "  \"sockets\": 4,\n"
+        "  \"hw_threads\": %u,\n"
+        "  \"events\": %llu,\n"
+        "  \"end_us\": %.3f,\n"
+        "  \"stream_hash\": \"%016llx\",\n"
+        "  \"epochs\": %llu,\n"
+        "  \"serial_events_per_sec\": %.0f,\n"
+        "  \"t2_events_per_sec\": %.0f,\n"
+        "  \"t4_events_per_sec\": %.0f,\n"
+        "  \"speedup_2\": %.3f,\n"
+        "  \"speedup_4\": %.3f,\n"
+        "  \"note\": \"speedups are self-relative wall-clock and "
+        "only meaningful when hw_threads >= 4; events/end_us/"
+        "stream_hash are simulated quantities, identical on every "
+        "host and thread count\"\n"
+        "}\n",
+        m.hwThreads, static_cast<unsigned long long>(m.events),
+        toUs(m.endTick),
+        static_cast<unsigned long long>(m.streamHash),
+        static_cast<unsigned long long>(m.epochs), m.rate1, m.rate2,
+        m.rate4, m.speedup2, m.speedup4);
+}
+
+/** Pull `"key": <number>` out of a JSON blob (flat, known keys). */
+bool
+jsonNumber(const std::string &text, const std::string &key,
+           double &out)
+{
+    auto at = text.find("\"" + key + "\"");
+    if (at == std::string::npos)
+        return false;
+    at = text.find(':', at);
+    if (at == std::string::npos)
+        return false;
+    out = std::strtod(text.c_str() + at + 1, nullptr);
+    return true;
+}
+
+/** Pull `"key": "value"` out of a JSON blob (flat, known keys). */
+bool
+jsonString(const std::string &text, const std::string &key,
+           std::string &out)
+{
+    auto at = text.find("\"" + key + "\"");
+    if (at == std::string::npos)
+        return false;
+    at = text.find(':', at);
+    if (at == std::string::npos)
+        return false;
+    auto q1 = text.find('"', at + 1);
+    if (q1 == std::string::npos)
+        return false;
+    auto q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos)
+        return false;
+    out = text.substr(q1 + 1, q2 - q1 - 1);
+    return true;
+}
+
+int
+check(const Metrics &m, const std::string &path, double tol)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_parallel: cannot open %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    int failures = 0;
+
+    // Simulated fingerprint: exact equality, any host.
+    {
+        char hash[32];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(m.streamHash));
+        std::string want;
+        if (jsonString(text, "stream_hash", want)) {
+            const bool ok = want == hash;
+            std::printf("%-22s %16s  committed %16s  %s\n",
+                        "stream_hash", hash, want.c_str(),
+                        ok ? "ok" : "DIVERGED");
+            failures += ok ? 0 : 1;
+        }
+        double want_events = 0;
+        if (jsonNumber(text, "events", want_events)) {
+            const bool ok = static_cast<double>(m.events) ==
+                            want_events;
+            std::printf("%-22s %16llu  committed %16.0f  %s\n",
+                        "events",
+                        static_cast<unsigned long long>(m.events),
+                        want_events, ok ? "ok" : "DIVERGED");
+            failures += ok ? 0 : 1;
+        }
+    }
+
+    // Host throughput: committed-value regression gate.
+    double want_rate = 0;
+    if (jsonNumber(text, "serial_events_per_sec", want_rate) &&
+        want_rate > 0) {
+        const double floor = want_rate * (1.0 - tol);
+        const bool ok = m.rate1 >= floor;
+        std::printf("%-22s %16.0f  committed %16.0f  %s\n",
+                    "serial_events_per_sec", m.rate1, want_rate,
+                    ok ? "ok" : "REGRESSED");
+        failures += ok ? 0 : 1;
+    }
+
+    // Parallel payoff: only meaningful with the cores to show it.
+    if (m.hwThreads >= 4) {
+        const double wantSpeedup = 2.5;
+        const bool ok = m.speedup4 >= wantSpeedup;
+        std::printf("%-22s %16.3f  required  %16.3f  %s\n",
+                    "speedup_4", m.speedup4, wantSpeedup,
+                    ok ? "ok" : "TOO SLOW");
+        failures += ok ? 0 : 1;
+    } else {
+        std::printf("speedup_4              %16.3f  (not gated: "
+                    "host has %u hardware thread(s))\n",
+                    m.speedup4, m.hwThreads);
+    }
+    return failures ? 1 : 0;
+}
+
+} // namespace
+} // namespace dsasim::bench
+
+int
+main(int argc, char **argv)
+{
+    using namespace dsasim::bench;
+    Params p;
+    std::string json_path, check_path;
+    double tol = 0.20;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--json=", 0) == 0)
+            json_path = a.substr(7);
+        else if (a.rfind("--check=", 0) == 0)
+            check_path = a.substr(8);
+        else if (a.rfind("--tol=", 0) == 0)
+            tol = std::strtod(a.c_str() + 6, nullptr);
+        else if (a.rfind("--n=", 0) == 0)
+            p.descriptors =
+                static_cast<int>(std::strtol(a.c_str() + 4,
+                                             nullptr, 0));
+        else if (a.rfind("--trials=", 0) == 0)
+            p.trials =
+                static_cast<int>(std::strtol(a.c_str() + 9,
+                                             nullptr, 0));
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_parallel [--n=DESC] "
+                         "[--trials=T] [--json=PATH] "
+                         "[--check=PATH [--tol=F]]\n");
+            return 2;
+        }
+    }
+
+    Metrics m = measure(p);
+    emit(stdout, m);
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::perror("bench_parallel: fopen");
+            return 2;
+        }
+        emit(f, m);
+        std::fclose(f);
+    }
+    if (!check_path.empty())
+        return check(m, check_path, tol);
+    return 0;
+}

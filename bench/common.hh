@@ -16,6 +16,7 @@
 #ifndef DSASIM_BENCH_COMMON_HH
 #define DSASIM_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +31,7 @@
 #include "driver/platform.hh"
 #include "driver/snapshot.hh"
 #include "driver/submitter.hh"
+#include "sim/partition.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
 
@@ -134,20 +136,36 @@ fmt(double v, int prec = 2)
 /// @}
 
 /**
- * Worker count for parallel benchmark sweeps: DSASIM_JOBS if set to a
- * positive integer, otherwise the hardware concurrency (minimum 1).
+ * Worker count for parallel benchmark sweeps. Each sweep point may
+ * itself run its cluster on DSASIM_PARTITIONS worker threads
+ * (sim/partition.hh), so the two knobs multiply: total host-thread
+ * demand is jobs x partitions. Precedence (EXPERIMENTS.md):
+ *
+ *   - DSASIM_JOBS set to a positive integer: honored, except that
+ *     with DSASIM_PARTITIONS > 1 it is clamped so jobs x partitions
+ *     never exceeds the hardware concurrency — oversubscribing both
+ *     knobs at once only adds scheduler noise to the wall-clock
+ *     numbers the parallel benches report.
+ *   - DSASIM_JOBS unset: hardware concurrency / partitions (min 1),
+ *     i.e. the partition workers come out of the sweep budget.
  */
 inline unsigned
 sweepJobs()
 {
+    const unsigned parts = std::max(1u, partitionThreads());
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
     if (const char *env = std::getenv("DSASIM_JOBS")) {
         char *end = nullptr;
         long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1)
-            return static_cast<unsigned>(v);
+        if (end != env && *end == '\0' && v >= 1) {
+            unsigned jobs = static_cast<unsigned>(v);
+            if (parts > 1)
+                jobs = std::max(1u, std::min(jobs, hw / parts));
+            return jobs;
+        }
     }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return std::max(1u, hw / parts);
 }
 
 /**

@@ -1,0 +1,148 @@
+#include "driver/cluster.hh"
+
+#include <set>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace dsasim
+{
+
+SocketCluster::SocketCluster(const ClusterConfig &c) : config(c)
+{
+    fatal_if(c.sockets == 0, "SocketCluster: zero sockets");
+    doms.reserve(c.sockets);
+    for (unsigned s = 0; s < c.sockets; ++s) {
+        SocketDomain d;
+        d.sim = std::make_unique<Simulation>();
+        PlatformConfig pc = c.socket;
+        pc.name += ".s" + std::to_string(s);
+        d.plat = std::make_unique<Platform>(*d.sim, pc);
+        set.addDomain(*d.sim, "socket " + std::to_string(s));
+        doms.push_back(std::move(d));
+    }
+    if (c.sockets < 2)
+        return;
+
+    // Link topology: ordered pairs, ring or full mesh. A std::set
+    // gives a deterministic build order (and dedupes the two-socket
+    // ring, where s+1 and s-1 coincide).
+    std::set<std::pair<unsigned, unsigned>> pairs;
+    if (c.fullMesh) {
+        for (unsigned a = 0; a < c.sockets; ++a)
+            for (unsigned b = 0; b < c.sockets; ++b)
+                if (a != b)
+                    pairs.insert({a, b});
+    } else {
+        for (unsigned s = 0; s < c.sockets; ++s) {
+            const unsigned nb = (s + 1) % c.sockets;
+            pairs.insert({s, nb});
+            pairs.insert({nb, s});
+        }
+    }
+
+    // The channel's declared floor is the wire latency plus the
+    // serialization time of the smallest block the protocol ships
+    // (ClusterConfig::lookaheadBytes) — the lookahead the epochs run
+    // on.
+    const Tick ser = static_cast<Tick>(
+        static_cast<double>(c.lookaheadBytes) * 1000.0 / c.upiGBps +
+        0.5);
+    const Tick floor = c.upiLatency + ser;
+
+    for (const auto &[a, b] : pairs)
+        chans[{a, b}] = &set.connect(a, b, floor,
+                                     c.channelCapacity);
+    for (const auto &[a, b] : pairs) {
+        ports[{a, b}] = std::make_unique<RemotePort>(
+            *doms[a].sim, *chans[{a, b}], c.upiGBps, c.upiLatency,
+            "upi" + std::to_string(a) + "to" + std::to_string(b));
+    }
+    for (const auto &[a, b] : pairs) {
+        RemotePort::RemoteEnd end;
+        end.sim = doms[b].sim.get();
+        end.node = &doms[b].plat->mem().node(0);
+        end.returnWire = &ports[{b, a}]->wireLink();
+        end.ack = chans[{b, a}];
+        end.ackLatency =
+            c.ackLatency ? c.ackLatency : c.upiLatency;
+        ports[{a, b}]->attachRemote(end);
+    }
+}
+
+RemotePort &
+SocketCluster::port(unsigned src, unsigned dst)
+{
+    auto it = ports.find({src, dst});
+    fatal_if(it == ports.end(),
+             "SocketCluster::port: sockets %u and %u are not linked "
+             "(ring topology links only neighbors; set "
+             "ClusterConfig::fullMesh)",
+             src, dst);
+    return *it->second;
+}
+
+void
+SocketCluster::enableStreamHash(bool on)
+{
+    for (SocketDomain &d : doms)
+        d.sim->enableStreamHash(on);
+}
+
+void
+SocketCluster::run(unsigned threads)
+{
+    set.run(threads);
+}
+
+bool
+SocketCluster::quiescent() const
+{
+    for (const SocketDomain &d : doms)
+        if (!d.sim->idle() || !d.plat->quiescent())
+            return false;
+    return set.idle();
+}
+
+SocketCluster::ClusterSnapshot
+SocketCluster::capture()
+{
+    for (unsigned s = 0; s < doms.size(); ++s) {
+        fatal_if(!doms[s].sim->idle() || !doms[s].plat->quiescent(),
+                 "SocketCluster::capture: domain %u (%s) not "
+                 "drained — %s",
+                 s, set.domainName(s).c_str(),
+                 doms[s].plat->drainHint().c_str());
+    }
+    fatal_if(!set.idle(),
+             "SocketCluster::capture: undelivered cross-domain "
+             "messages in flight — run() to completion first");
+    ClusterSnapshot cs;
+    cs.sockets.reserve(doms.size());
+    for (SocketDomain &d : doms)
+        cs.sockets.push_back(Snapshot::capture(*d.plat));
+    cs.portWires.reserve(ports.size());
+    for (const auto &[key, port] : ports)
+        cs.portWires.push_back(port->wireLink().saveState());
+    return cs;
+}
+
+void
+SocketCluster::restore(const ClusterSnapshot &snap)
+{
+    fatal_if(snap.sockets.size() != doms.size(),
+             "SocketCluster::restore: %zu domains here, %zu in "
+             "snapshot",
+             doms.size(), snap.sockets.size());
+    fatal_if(snap.portWires.size() != ports.size(),
+             "SocketCluster::restore: %zu ports here, %zu in "
+             "snapshot (same link topology required)",
+             ports.size(), snap.portWires.size());
+    for (unsigned s = 0; s < doms.size(); ++s)
+        snap.sockets[s].restoreInto(*doms[s].plat);
+    std::size_t w = 0;
+    for (auto &[key, port] : ports)
+        port->wireLink().restoreState(snap.portWires[w++]);
+}
+
+} // namespace dsasim

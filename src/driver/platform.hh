@@ -107,6 +107,16 @@ class Platform
     CoTask quiesce();
 
     /**
+     * Human-readable enumeration of everything still holding work:
+     * the calendar's pending-event count, each non-empty work queue,
+     * devices with in-flight engine work. Snapshot::capture puts this
+     * in its refusal message so a failed capture names the culprit
+     * (per domain, once calendars are per-socket — see
+     * SocketCluster::capture).
+     */
+    std::string drainHint();
+
+    /**
      * @deprecated Thin wrapper over
      * DsaTopology::basic(wq_size, engines, mode).apply(dev); prefer
      * PlatformConfig::dsaTopology or DsaTopology directly.

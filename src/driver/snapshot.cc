@@ -15,9 +15,13 @@ Snapshot::capture(Platform &p)
     // (differently per device) round-trips exactly.
     s.config.dsaTopology = DsaTopology{};
 
-    // Calendar first: an idle simulation is the cheapest invariant to
-    // check and its fatal carries the drain hint. Device saveState
-    // then enforces per-device quiescence.
+    // Refuse with a hint that names exactly what still holds work
+    // (which queue, which device, how many calendar events) before
+    // any component state is touched. The per-component saveState
+    // fatals below remain as backstops.
+    fatal_if(!p.sim().idle() || !p.quiescent(),
+             "Snapshot::capture: work still pending — %s",
+             p.drainHint().c_str());
     s.simState = p.sim().saveState();
     s.memState = p.mem().saveState();
     s.coreStates.reserve(p.coreCount());

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * RemotePort: cross-socket memory traffic as partition-channel link
+ * events.
+ *
+ * Inside one socket domain, MemSystem charges remote accesses against
+ * shared LinkResources synchronously — fine when every socket lives
+ * in one calendar, impossible once sockets run on different worker
+ * threads. A RemotePort is the partitioned replacement: the source
+ * domain owns the outbound wire direction (a LinkResource modeling
+ * its UPI/CXL TX), and everything past the wire happens in the
+ * destination domain, at the message's arrival tick, against the
+ * destination's *real* DRAM links — so cross-socket traffic contends
+ * honestly with the remote socket's local traffic. Completion returns
+ * as an ack message that fires a Trigger back in the source domain.
+ *
+ *   push(bytes):  TX wire occupy -> [channel] -> remote writeLink
+ *                 occupy -> [ack channel] -> Trigger
+ *   pull(bytes):  TX wire occupy (request) -> [channel] -> remote
+ *                 readLink occupy -> return wire occupy -> [ack
+ *                 channel] -> Trigger
+ *
+ * Timestamps posted to a channel must respect its declared minimum
+ * latency (the lookahead). When a cluster raises a channel's floor
+ * above the bare wire latency (see ClusterConfig::lookaheadBytes),
+ * the port defers sends to now + floor — modeling send-side
+ * aggregation, the classical price of a larger lookahead.
+ */
+
+#ifndef DSASIM_MEM_REMOTE_PORT_HH
+#define DSASIM_MEM_REMOTE_PORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/mem_system.hh"
+#include "sim/link.hh"
+#include "sim/partition.hh"
+#include "sim/task.hh"
+
+namespace dsasim
+{
+
+class RemotePort
+{
+  public:
+    /** The destination-domain half of the wiring (see attachRemote).
+     * All fields are written once at cluster-build time and only read
+     * afterwards, from the destination's worker thread. */
+    struct RemoteEnd
+    {
+        Simulation *sim = nullptr;  ///< destination kernel
+        MemNode *node = nullptr;    ///< destination DRAM node
+        /** Destination-owned reverse wire direction carrying pull
+         * payloads back (nullptr: return serialization not modeled). */
+        LinkResource *returnWire = nullptr;
+        PartitionChannel *ack = nullptr; ///< dst -> src channel
+        Tick ackLatency = 0; ///< completion-notification latency
+    };
+
+    /**
+     * @param src_sim      source-domain kernel
+     * @param tx_channel   src -> dst partition channel
+     * @param wire_gbps    outbound wire direction bandwidth
+     * @param wire_latency one-way wire latency
+     */
+    RemotePort(Simulation &src_sim, PartitionChannel &tx_channel,
+               double wire_gbps, Tick wire_latency, std::string name);
+
+    void attachRemote(const RemoteEnd &end);
+
+    /** Write @p bytes into the remote node; resumes on ack. */
+    CoTask push(std::uint64_t bytes);
+
+    /** Read @p bytes from the remote node; resumes when the data has
+     * streamed back over the reverse wire. */
+    CoTask pull(std::uint64_t bytes);
+
+    /** Source-owned outbound wire direction (shared with the reverse
+     * port's pull returns). */
+    LinkResource &wireLink() { return wire; }
+
+    const std::string &portName() const { return name; }
+    std::uint64_t bytesPushed() const { return pushed; }
+    std::uint64_t bytesPulled() const { return pulled; }
+    std::uint64_t roundTrips() const { return trips; }
+
+    /** A pull request is a descriptor-sized control packet. */
+    static constexpr std::uint64_t requestBytes = 64;
+
+  private:
+    /** Earliest legal delivery tick for a send intended at @p when:
+     * defers into the channel's declared latency floor. */
+    Tick sendAt(Tick when) const;
+
+    Simulation &sim;
+    PartitionChannel &tx;
+    LinkResource wire;
+    const Tick wireLat;
+    std::string name;
+    RemoteEnd remote;
+    std::uint64_t pushed = 0;
+    std::uint64_t pulled = 0;
+    std::uint64_t trips = 0;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_MEM_REMOTE_PORT_HH

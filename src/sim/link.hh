@@ -58,10 +58,17 @@ class LinkResource
      * Returns the absolute completion tick. Does not suspend; pair
      * with Simulation::delayUntil() to model blocking.
      */
+    Tick occupy(std::uint64_t bytes) { return occupyAt(0, bytes); }
+
+    /**
+     * Like occupy(), but the transfer also cannot start before
+     * @p earliest — the cross-socket pull path uses this to start a
+     * return transfer only once the remote DRAM read has finished.
+     */
     Tick
-    occupy(std::uint64_t bytes)
+    occupyAt(Tick earliest, std::uint64_t bytes)
     {
-        Tick start = std::max(sim.now(), readyAt);
+        Tick start = std::max({sim.now(), readyAt, earliest});
         Tick duration = static_cast<Tick>(
             static_cast<double>(bytes) * psPerByte + 0.5);
         readyAt = start + duration;

@@ -12,6 +12,8 @@ namespace
 {
 // Atomic so SweepRunner workers can emit warn()/inform() while
 // another thread toggles quiet mode (TSan-clean by construction).
+// Host-output plumbing only — never feeds back into event order.
+// simlint:allow(cross-domain)
 std::atomic<bool> quietMode{false};
 } // namespace
 

@@ -219,4 +219,35 @@ Simulation::runUntil(Tick until)
     return currentTick;
 }
 
+Tick
+Simulation::runWithin(Tick horizon)
+{
+    while (step(horizon)) {
+    }
+    return currentTick;
+}
+
+Tick
+Simulation::nextEventBound() const
+{
+    if (pendingCount == 0)
+        return maxTick;
+    Tick bound = maxTick;
+    if (!stageOrder.empty())
+        bound = std::min(bound, stageOrder.back().when);
+    if (!stageInKeys.empty())
+        bound = std::min(bound, stageInKeys.front().when);
+    const std::size_t off = firstOccupiedOffset();
+    if (off != bucketCount) {
+        // Bucket starts can predate the clock right after a
+        // restoreState() re-anchor; queued events never do.
+        const Tick start =
+            static_cast<Tick>((curBucket + off) << bucketShift);
+        bound = std::min(bound, std::max(start, currentTick));
+    }
+    if (!overflowKeys.empty())
+        bound = std::min(bound, overflowKeys.front().when);
+    return bound;
+}
+
 } // namespace dsasim

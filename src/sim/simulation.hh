@@ -101,8 +101,31 @@ class Simulation
      */
     Tick runUntil(Tick until);
 
+    /**
+     * Run all events with timestamp <= @p horizon but leave the clock
+     * at the last executed event (or untouched if none ran). The
+     * conservative-lookahead partition runner (sim/partition.hh) uses
+     * this to advance a domain through one epoch without inventing a
+     * clock reading the serial execution would never have produced.
+     */
+    Tick runWithin(Tick horizon);
+
     /** Number of events executed so far (for tests/telemetry). */
     std::uint64_t eventsExecuted() const { return executedCount; }
+
+    /** Number of events currently queued. */
+    std::uint64_t pendingEvents() const { return pendingCount; }
+
+    /**
+     * A lower bound on the timestamp of the earliest pending event,
+     * or maxTick if the queue is empty. Exact for staged events;
+     * calendar events are bounded by their bucket's start tick (an
+     * error of less than 2^bucketShift ticks, far below any link
+     * latency a partition runner would use as lookahead). Never later
+     * than the true earliest event, so it is always safe to use as a
+     * conservative horizon.
+     */
+    Tick nextEventBound() const;
 
     /**
      * When enabled, every executed event folds its (when, seq) pair

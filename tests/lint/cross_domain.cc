@@ -1,0 +1,26 @@
+// Fixture: cross-domain rule. Linted as if at src/sim/cross_domain.cc
+// (the rule skips sim/partition.*, the sanctioned threading layer).
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+// Unqualified model identifiers that happen to share a primitive's
+// name stay legal: only the std::-qualified form is host threading.
+struct barrier;
+int latch = 0;
+
+struct Racy
+{
+    std::mutex lock;
+    std::atomic<int> shared{0};
+    static thread_local int scratch;
+};
+
+int
+spawn(Racy &r)
+{
+    std::thread t([&r] { r.shared.fetch_add(1); });
+    std::lock_guard<std::mutex> g(r.lock);
+    t.join();
+    return r.shared.load() + latch;
+}

@@ -1,6 +1,7 @@
 // Fixture: every rule fires here, and every instance carries a
 // simlint:allow suppression — expected output is empty, exit 0.
 // Linted as if at src/sim/suppressed.cc.
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
@@ -8,6 +9,8 @@
 
 // simlint:allow(volatile-sync)
 volatile bool gate = false;
+// simlint:allow(cross-domain)
+std::atomic<int> counter{0};
 
 long
 everything(char *dst, const char *src)
@@ -21,7 +24,7 @@ everything(char *dst, const char *src)
     for (const auto &kv : m)
         total += kv.second;
     strcpy(dst, src); // simlint:allow(banned-fn)
-    total += t + e + *p;
+    total += t + e + *p + counter.load();
     delete p; // simlint:allow(raw-alloc)
     return total + static_cast<long>(gate);
 }

@@ -42,6 +42,19 @@ echo "== Snapshot determinism (cold vs forked continuations) =="
     --seed=1 \
     --faults='page-fault:p=0.05;hang:every=701;wq-reject:p=0.01'
 
+echo "== Partition determinism (1 thread vs 4, DESIGN.md §11) =="
+"$root/build-release/tools/determinism_check" --partitions=4 \
+    --n=600 --seed=1
+"$root/build-release/tools/determinism_check" --partitions=4 \
+    --n=600 --seed=1 \
+    --faults='page-fault:p=0.05;hang:every=701;wq-reject:p=0.01'
+"$root/build-release/tools/determinism_check" --fork --partitions=4 \
+    --n=600 --seed=1
+
+echo "== Parallel partition gate (BENCH_parallel.json) =="
+"$root/build-release/bench/bench_parallel" \
+    --check="$root/BENCH_parallel.json"
+
 echo "== ASan/UBSan build + tests =="
 # Leak checking stays off: SimTask coroutines are fire-and-forget by
 # design (sim/task.hh), so tearing a platform down mid-run abandons
@@ -50,12 +63,16 @@ export ASAN_OPTIONS="detect_leaks=0${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
 run build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDSASIM_SANITIZE=address,undefined
 
-echo "== TSan build + sweep tests =="
+echo "== TSan build + sweep/partition tests =="
 cmake -B "$root/build-tsan" -S "$root" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDSASIM_SANITIZE=thread >/dev/null
-cmake --build "$root/build-tsan" -j "$(nproc)" --target test_sweep
+cmake --build "$root/build-tsan" -j "$(nproc)" \
+    --target test_sweep test_partition determinism_check
 "$root/build-tsan/tests/test_sweep"
+DSASIM_PARTITIONS=4 "$root/build-tsan/tests/test_partition"
+"$root/build-tsan/tools/determinism_check" --partitions=4 --n=400 \
+    --seed=1
 
 echo "== Event-kernel self-benchmark =="
 "$root/build-release/bench/bench_simhost" \

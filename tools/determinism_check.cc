@@ -28,16 +28,30 @@
  * three fingerprints to be identical. A divergence means fork()
  * failed to reproduce some piece of platform state.
  *
+ * With --partitions=K the harness guards the partitioning contract
+ * (DESIGN.md §11): a 4-socket SocketCluster — per-socket descriptor
+ * mixes plus cross-socket RemotePort push/pull traffic over the UPI
+ * ring — is simulated once on 1 worker thread and once on K, and the
+ * cross-domain fingerprints (combined stream hash, completion hashes
+ * folded in socket order, event count, end tick) must match exactly.
+ * Composes with --faults (per-socket injectors) and with --fork
+ * (a ClusterSnapshot is continued cold, rewound in place, and
+ * restored into a freshly built cluster, on differing thread
+ * counts).
+ *
  * Usage: determinism_check [--n=2000] [--seed=42] [--faults=SPEC]
- *                          [--fork]
+ *                          [--fork] [--partitions=K]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dml/dml.hh"
+#include "driver/cluster.hh"
 #include "driver/platform.hh"
 #include "driver/snapshot.hh"
 #include "sim/random.hh"
@@ -53,6 +67,7 @@ struct Options
     std::uint64_t seed = 42;
     std::string faults; ///< empty = no injection
     bool fork = false;  ///< cold-vs-forked instead of run-vs-rerun
+    unsigned partitions = 0; ///< >0: 1-thread vs K-thread cluster
 };
 
 struct Fingerprint
@@ -84,13 +99,23 @@ fnv1a(std::uint64_t &h, std::uint64_t v)
 SimTask
 driver(Platform &plat, dml::Executor &exec, AddressSpace &as,
        std::uint64_t seed, std::uint64_t count, Addr src, Addr dst,
-       std::uint64_t span, std::uint64_t &completion_hash)
+       std::uint64_t span, std::uint64_t &completion_hash,
+       RemotePort *remote = nullptr)
 {
     Rng rng(seed);
     Core &core = plat.core(0);
     for (std::uint64_t i = 0; i < count; ++i) {
         if (!plat.dsa(0).enabled())
             plat.dsa(0).enable();
+        if (remote && rng.chance(0.2)) {
+            // Cross-socket traffic over the UPI ring, interleaved
+            // with the local descriptor mix so link events race
+            // against DSA completions in both domains.
+            if (rng.chance(0.3))
+                co_await remote->pull(rng.range(1 << 10, 1 << 14));
+            else
+                co_await remote->push(rng.range(1 << 10, 1 << 16));
+        }
         std::uint64_t n = rng.range(64, 64 << 10);
         std::uint64_t so = rng.range(0, span - n);
         std::uint64_t dof = rng.range(0, span - n);
@@ -285,6 +310,220 @@ runForkCheck(const Options &opt)
     return 0;
 }
 
+/**
+ * A 4-socket SocketCluster plus the per-socket harness state
+ * (executor, address space, buffers) the partition checks drive.
+ * The cluster shape is fixed; --partitions only picks how many
+ * worker threads execute it.
+ */
+struct ClusterRig
+{
+    static constexpr std::uint64_t span = 1 << 20;
+
+    SocketCluster cl;
+    std::vector<std::unique_ptr<dml::Executor>> execs;
+    std::vector<Addr> src, dst;
+
+    static ClusterConfig
+    clusterConfig()
+    {
+        ClusterConfig cc;
+        cc.sockets = 4;
+        cc.socket = PlatformConfig::spr();
+        cc.socket.numCores = 2;
+        cc.socket.numDsaDevices = 1;
+        // Devices come up configured straight from the config so a
+        // freshly built cluster is a valid Snapshot restore target.
+        cc.socket.dsaTopology = DsaTopology::basic(32, 2);
+        for (auto &node : cc.socket.mem.nodes)
+            node.capacityBytes = 1ull << 30;
+        return cc;
+    }
+
+    /**
+     * @p restore_target builds only the bare cluster: spaces,
+     * buffers, injectors and executor state all arrive with the
+     * ClusterSnapshot (restore() installs the captured injectors,
+     * RNG position included).
+     */
+    explicit ClusterRig(const Options &opt, bool restore_target = false)
+        : cl(clusterConfig())
+    {
+        cl.enableStreamHash(true);
+        if (restore_target)
+            return;
+        for (unsigned s = 0; s < cl.socketCount(); ++s) {
+            Platform &p = cl.plat(s);
+            if (!opt.faults.empty()) {
+                p.setFaultInjector(
+                    FaultInjector::fromSpec(opt.faults,
+                                            opt.seed + s));
+            }
+            AddressSpace &as = p.mem().createSpace();
+            src.push_back(as.alloc(span));
+            dst.push_back(as.alloc(span));
+            Rng init(opt.seed ^ 0x9e3779b97f4a7c15ull ^ s);
+            std::vector<std::uint8_t> buf(span);
+            for (auto &b : buf)
+                b = static_cast<std::uint8_t>(init.next32());
+            as.write(src[s], buf.data(), span);
+            as.write(dst[s], buf.data(), span);
+        }
+        buildExecutors();
+    }
+
+    void
+    buildExecutors()
+    {
+        execs.clear();
+        for (unsigned s = 0; s < cl.socketCount(); ++s) {
+            Platform &p = cl.plat(s);
+            dml::ExecutorConfig ec;
+            ec.path = dml::Path::Hardware;
+            ec.watchdogTimeout = fromUs(500);
+            execs.push_back(std::make_unique<dml::Executor>(
+                cl.sim(s), p.mem(), p.kernels(),
+                std::vector<DsaDevice *>{&p.dsa(0)}, ec));
+        }
+    }
+
+    /**
+     * Drive @p per_socket descriptors on every socket (each with its
+     * own seed lane and a RemotePort to its ring neighbor) and run
+     * the cluster on @p threads workers. The fingerprint folds the
+     * per-socket completion hashes in socket order on top of the
+     * cross-domain stream hash.
+     */
+    Fingerprint
+    phase(std::uint64_t seed, std::uint64_t per_socket,
+          unsigned threads)
+    {
+        const unsigned n = cl.socketCount();
+        std::vector<std::uint64_t> chash(n, 0);
+        for (unsigned s = 0; s < n; ++s) {
+            driver(cl.plat(s), *execs[s], cl.plat(s).mem().space(1),
+                   seed ^ (s * 0x9e3779b97f4a7c15ull), per_socket,
+                   src[s], dst[s], span, chash[s],
+                   &cl.port(s, (s + 1) % n));
+        }
+        cl.run(threads);
+        Fingerprint fp;
+        fp.streamHash = cl.streamHash();
+        for (std::uint64_t h : chash)
+            fnv1a(fp.completionHash, h);
+        fp.eventsExecuted = cl.eventsExecuted();
+        fp.endTick = cl.endTick();
+        return fp;
+    }
+};
+
+/**
+ * Partitioning-contract guard: the identical 4-socket scenario on 1
+ * worker thread and on K must produce identical fingerprints.
+ */
+int
+runPartitionCheck(const Options &opt)
+{
+    const std::uint64_t per =
+        std::max<std::uint64_t>(1, opt.n / 4);
+    auto once = [&](unsigned threads) {
+        ClusterRig rig(opt);
+        return rig.phase(opt.seed, per, threads);
+    };
+    Fingerprint serial = once(1);
+    print("1 thread ", serial);
+    Fingerprint par = once(opt.partitions);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%u threads",
+                  opt.partitions);
+    print(label, par);
+
+    if (!(serial == par)) {
+        std::fprintf(stderr,
+                     "FAIL: the %u-thread run diverged from the "
+                     "serial run — cross-domain event order leaked "
+                     "the worker-thread count\n",
+                     opt.partitions);
+        return 1;
+    }
+    std::printf("determinism_check --partitions=%u: PASS (4 sockets "
+                "x %llu descriptors, seed %llu)\n",
+                opt.partitions,
+                static_cast<unsigned long long>(per),
+                static_cast<unsigned long long>(opt.seed));
+    return 0;
+}
+
+/**
+ * Partition + snapshot guard (--fork --partitions=K): run phase A on
+ * K threads, capture a ClusterSnapshot of the drained cluster, then
+ * play phase B three ways — restored into a freshly built cluster
+ * (K threads), continued cold on the source cluster (1 thread), and
+ * rewound in place on the source cluster (K threads). All three
+ * fingerprints must match.
+ */
+int
+runPartitionForkCheck(const Options &opt)
+{
+    const std::uint64_t per = std::max<std::uint64_t>(1, opt.n / 4);
+    const std::uint64_t per_a = per / 2;
+    const std::uint64_t per_b = per - per_a;
+    const std::uint64_t seed_b = opt.seed ^ 0xb5c0ffeeull;
+
+    ClusterRig rig(opt);
+    rig.phase(opt.seed, per_a, opt.partitions);
+    SocketCluster::ClusterSnapshot snap = rig.cl.capture();
+    std::vector<dml::Executor::State> est;
+    for (auto &e : rig.execs)
+        est.push_back(e->saveState());
+
+    auto rewind = [&](ClusterRig &r) {
+        r.cl.restore(snap);
+        for (unsigned s = 0; s < r.cl.socketCount(); ++s)
+            r.execs[s]->restoreState(est[s]);
+    };
+
+    // Restore into a brand-new cluster built from the same config
+    // (exercising snapshot portability across cluster instances),
+    // and run phase B on K threads.
+    ClusterRig fresh(opt, /*restore_target=*/true);
+    fresh.cl.restore(snap);
+    fresh.src = rig.src;
+    fresh.dst = rig.dst;
+    fresh.buildExecutors();
+    for (unsigned s = 0; s < fresh.cl.socketCount(); ++s)
+        fresh.execs[s]->restoreState(est[s]);
+    Fingerprint restored = fresh.phase(seed_b, per_b,
+                                       opt.partitions);
+
+    // Cold continuation of the source cluster, serially.
+    Fingerprint cold = rig.phase(seed_b, per_b, 1);
+
+    // Rewind the source cluster in place and replay on K threads.
+    rewind(rig);
+    Fingerprint rewound = rig.phase(seed_b, per_b, opt.partitions);
+
+    print("cold    ", cold);
+    print("restored", restored);
+    print("rewound ", rewound);
+
+    if (!(cold == restored) || !(cold == rewound)) {
+        std::fprintf(stderr,
+                     "FAIL: a snapshot continuation diverged — "
+                     "ClusterSnapshot did not reproduce the captured "
+                     "cluster state, or delivery order leaked the "
+                     "thread count\n");
+        return 1;
+    }
+    std::printf("determinism_check --fork --partitions=%u: PASS "
+                "(4 sockets x %llu+%llu descriptors, seed %llu)\n",
+                opt.partitions,
+                static_cast<unsigned long long>(per_a),
+                static_cast<unsigned long long>(per_b),
+                static_cast<unsigned long long>(opt.seed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -305,16 +544,23 @@ main(int argc, char **argv)
             opt.seed = std::strtoull(v2, nullptr, 0);
         else if (const char *v3 = val("--faults="))
             opt.faults = v3;
+        else if (const char *v4 = val("--partitions="))
+            opt.partitions =
+                static_cast<unsigned>(std::strtoul(v4, nullptr, 0));
         else if (a == "--fork")
             opt.fork = true;
         else {
             std::fprintf(stderr,
                          "usage: determinism_check [--n=N] "
-                         "[--seed=S] [--faults=SPEC] [--fork]\n");
+                         "[--seed=S] [--faults=SPEC] [--fork] "
+                         "[--partitions=K]\n");
             return 2;
         }
     }
 
+    if (opt.partitions > 0)
+        return opt.fork ? runPartitionForkCheck(opt)
+                        : runPartitionCheck(opt);
     if (opt.fork)
         return runForkCheck(opt);
 

@@ -27,6 +27,14 @@
  *                   use the event arena, InlineCallback SBO,
  *                   containers, or smart pointers (placement new is
  *                   allowed — it is how the arenas are built).
+ *   cross-domain    no host threading primitives (std::mutex,
+ *                   std::atomic, std::thread, std::condition_variable,
+ *                   ..., thread_local) in tick-affecting code outside
+ *                   sim/partition.* — cross-domain interaction goes
+ *                   through PartitionChannel::post() so event order
+ *                   stays canonical; ad-hoc synchronization makes
+ *                   delivery order depend on the worker-thread count
+ *                   (DESIGN.md §11).
  *   banned-fn       no unbounded C string functions (strcpy, strcat,
  *                   sprintf, vsprintf, gets) anywhere.
  *   volatile-sync   no 'volatile' anywhere — it is not a
@@ -448,6 +456,10 @@ class Linter
                 checkEntropy(f);
             checkUnorderedIter(f);
             checkRawAlloc(f);
+            // The partition layer is the one sanctioned home of host
+            // threading: everything else posts through its channels.
+            if (lp.find("sim/partition.") == std::string::npos)
+                checkCrossDomain(f);
         }
         checkBannedFn(f);
         checkVolatile(f);
@@ -683,6 +695,48 @@ class Linter
     }
 
     void
+    checkCrossDomain(ScannedFile &f)
+    {
+        // Host threading vocabulary. Only the std::-qualified form
+        // is flagged so model-level identifiers (a member named
+        // `barrier`, say) stay legal.
+        static const std::set<std::string> prims = {
+            "mutex", "timed_mutex", "recursive_mutex",
+            "recursive_timed_mutex", "shared_mutex",
+            "shared_timed_mutex", "condition_variable",
+            "condition_variable_any", "atomic", "atomic_flag",
+            "atomic_ref", "thread", "jthread", "barrier", "latch",
+            "counting_semaphore", "binary_semaphore", "future",
+            "shared_future", "promise", "packaged_task", "async",
+            "stop_token", "stop_source", "call_once", "once_flag"};
+        for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+            const Token &t = f.tokens[i];
+            if (!t.isIdent)
+                continue;
+            if (t.text == "thread_local") {
+                report(f, t.line, t.col, "cross-domain",
+                       "'thread_local' state in tick-affecting code",
+                       "per-domain state belongs to the domain's "
+                       "Simulation; thread-local state varies with "
+                       "the worker-thread count (DESIGN.md §11)");
+                continue;
+            }
+            const bool stdQualified =
+                i >= 2 && f.tokens[i - 1].text == "::" &&
+                f.tokens[i - 2].text == "std";
+            if (stdQualified && prims.count(t.text) > 0) {
+                report(f, t.line, t.col, "cross-domain",
+                       "host threading primitive 'std::" + t.text +
+                           "' in tick-affecting code",
+                       "cross-domain interaction goes through "
+                       "PartitionChannel::post() (sim/partition.hh) "
+                       "so delivery order stays canonical for any "
+                       "worker-thread count");
+            }
+        }
+    }
+
+    void
     checkBannedFn(ScannedFile &f)
     {
         static const std::map<std::string, std::string> banned = {
@@ -852,6 +906,8 @@ const char *kRuleHelp =
     "tick-affecting code\n"
     "  raw-alloc        raw new/delete/malloc in hot-path "
     "directories\n"
+    "  cross-domain     host threading primitives in tick-affecting "
+    "code outside sim/partition.*\n"
     "  banned-fn        strcpy/strcat/sprintf/vsprintf/gets "
     "anywhere\n"
     "  volatile-sync    'volatile' used anywhere\n"
