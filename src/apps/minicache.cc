@@ -62,6 +62,7 @@ CoTask
 MiniCache::get(Core &core, std::uint64_t key, Addr out_buf,
                std::uint64_t &value_len, bool &hit)
 {
+    ++getOps;
     co_await core.busyFor(
         core.cpuParams().cyclesToTicks(config.indexCyclesPerOp),
         "cache-index");
@@ -72,7 +73,9 @@ MiniCache::get(Core &core, std::uint64_t key, Addr out_buf,
         co_return;
     }
     hit = true;
+    ++getHits;
     value_len = it->second.len;
+    copiedBytes += it->second.len;
     co_await dtoLib.memcpyCall(core, as, out_buf, it->second.addr,
                                it->second.len);
 }
@@ -81,6 +84,8 @@ CoTask
 MiniCache::set(Core &core, std::uint64_t key, Addr src_buf,
                std::uint64_t len)
 {
+    ++setOps;
+    copiedBytes += len;
     co_await core.busyFor(
         core.cpuParams().cyclesToTicks(config.indexCyclesPerOp),
         "cache-index");

@@ -54,6 +54,15 @@ class MiniCache
     std::uint64_t bytesCached() const { return usedBytes; }
     std::uint64_t evictions() const { return evicted; }
 
+    /// @name Operation counters (per-tenant SLO accounting when a
+    /// cache instance backs one serving tenant).
+    /// @{
+    std::uint64_t lookups() const { return getOps; }
+    std::uint64_t hits() const { return getHits; }
+    std::uint64_t sets() const { return setOps; }
+    std::uint64_t bytesCopied() const { return copiedBytes; }
+    /// @}
+
   private:
     struct Item
     {
@@ -80,6 +89,10 @@ class MiniCache
     std::vector<std::vector<Addr>> freelists;
     std::uint64_t usedBytes = 0;
     std::uint64_t evicted = 0;
+    std::uint64_t getOps = 0;
+    std::uint64_t getHits = 0;
+    std::uint64_t setOps = 0;
+    std::uint64_t copiedBytes = 0;
 };
 
 } // namespace dsasim::apps

@@ -1,0 +1,286 @@
+#include "dml/serving.hh"
+
+#include <algorithm>
+
+#include "driver/submitter.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace dsasim::dml
+{
+
+bool
+CircuitBreaker::allowHardware(Tick now)
+{
+    if (st == State::Open) {
+        if (now < openedAt + cfg.cooldown) {
+            ++shed;
+            return false;
+        }
+        st = State::HalfOpen;
+        probesIssued = 0;
+        probeOks = 0;
+    }
+    if (st == State::HalfOpen) {
+        if (probesIssued >= cfg.probes) {
+            // Probe quota in flight; hold the rest until a verdict.
+            ++shed;
+            return false;
+        }
+        ++probesIssued;
+        return true;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::trip(Tick now)
+{
+    st = State::Open;
+    openedAt = now;
+    ++opens;
+    samples = 0;
+    fulls = 0;
+}
+
+void
+CircuitBreaker::onOutcome(Tick now, bool queue_full)
+{
+    switch (st) {
+      case State::Closed:
+        ++samples;
+        if (queue_full)
+            ++fulls;
+        if (samples >= cfg.window) {
+            if (static_cast<double>(fulls) >=
+                cfg.openThreshold * static_cast<double>(samples)) {
+                trip(now);
+            } else {
+                samples = 0;
+                fulls = 0;
+            }
+        }
+        break;
+      case State::HalfOpen:
+        if (queue_full) {
+            trip(now);
+        } else if (++probeOks >= cfg.probes) {
+            st = State::Closed;
+            ++closes;
+            samples = 0;
+            fulls = 0;
+        }
+        break;
+      case State::Open:
+        // Stragglers admitted before the trip; the hold-down stands.
+        break;
+    }
+}
+
+void
+TenantStats::merge(const TenantStats &o)
+{
+    arrivals += o.arrivals;
+    issued += o.issued;
+    dropped += o.dropped;
+    hwAccepted += o.hwAccepted;
+    hwOk += o.hwOk;
+    hwErrors += o.hwErrors;
+    retries += o.retries;
+    giveUps += o.giveUps;
+    shedBreaker += o.shedBreaker;
+    fallbacks += o.fallbacks;
+    failures += o.failures;
+    goodputBytes += o.goodputBytes;
+    latencyUs.merge(o.latencyUs);
+}
+
+SimTask
+ServingNode::openLoop(TenantSession &t, ArrivalStream arrivals,
+                      std::uint64_t requests, Latch &done)
+{
+    Tick at = sim.now();
+    for (std::uint64_t k = 0; k < requests; ++k) {
+        at += arrivals.interarrival(k);
+        co_await sim.delayUntil(at);
+        ++t.stats.arrivals;
+        if (t.outstanding >= cfg.outstandingCap) {
+            // Load shedding at the door: bounding per-tenant
+            // in-flight work keeps overload from growing the heap or
+            // the calendar without bound.
+            ++t.stats.dropped;
+            done.arrive();
+            continue;
+        }
+        ++t.outstanding;
+        serveDetached(t, k, done);
+    }
+}
+
+SimTask
+ServingNode::serveDetached(TenantSession &t, std::uint64_t k,
+                           Latch &done)
+{
+    co_await serve(t, k);
+    --t.outstanding;
+    done.arrive();
+}
+
+namespace
+{
+
+void
+harvest(const CompletionRecord &cr, OpResult &out)
+{
+    out.status = cr.status;
+    out.ok = cr.status == CompletionRecord::Status::Success &&
+             cr.result == 0;
+    out.result = cr.result;
+    out.crc = cr.crc;
+    out.bytesCompleted = cr.bytesCompleted;
+    out.recordBytes = cr.recordBytes;
+    out.recordFits = cr.recordFits;
+    out.faultAddr = cr.faultAddr;
+    out.usedHardware = true;
+}
+
+} // namespace
+
+CoTask
+ServingNode::awaitCompletion(TenantSession &t, CompletionRecord &cr)
+{
+    struct Arm
+    {
+        bool cancelled = false;
+    };
+    std::shared_ptr<Arm> arm;
+    if (cfg.watchdogTimeout > 0 && !cr.isDone()) {
+        arm = std::make_shared<Arm>();
+        CompletionRecord *crp = &cr;
+        DsaDevice *devp = t.dev;
+        Simulation *simp = &sim;
+        ServingNode *self = this;
+        const Tick grace = cfg.watchdogGrace;
+        sim.scheduleIn(cfg.watchdogTimeout,
+                       [arm, crp, devp, simp, self, grace] {
+            if (arm->cancelled || crp->isDone())
+                return;
+            ++self->watchdogFires;
+            // Release anything wedged on the device; the descriptor
+            // then publishes Aborted on its own. If even that stays
+            // silent through the grace window, declare the request
+            // dead so the waiter can never hang.
+            devp->abortHung();
+            simp->scheduleIn(grace, [arm, crp, self] {
+                if (arm->cancelled || crp->isDone())
+                    return;
+                ++self->watchdogForced;
+                crp->bytesCompleted = 0;
+                crp->complete(CompletionRecord::Status::Aborted);
+            });
+        });
+    }
+    Submitter sub(*t.core, t.dev->params());
+    co_await sub.umwait(cr);
+    if (arm)
+        arm->cancelled = true;
+}
+
+CoTask
+ServingNode::serve(TenantSession &t, std::uint64_t k)
+{
+    ++t.stats.issued;
+    const Tick t0 = sim.now();
+    WorkDescriptor d = t.makeRequest(k);
+    d.pasid = t.pasid;
+
+    OpResult out;
+    bool servedHw = false;
+    bool wantFallback = cfg.cpuFallback;
+
+    if (t.breaker.allowHardware(sim.now())) {
+        CompletionRecord cr(sim);
+        d.completion = &cr;
+        Submitter sub(*t.core, t.dev->params());
+        bool accepted = false;
+        Tick pause = cfg.backoffBase;
+        for (unsigned attempt = 0;; ++attempt) {
+            DsaDevice::SubmitStatus st{};
+            co_await sub.enqcmdStatus(*t.dev, *t.wq, d, st);
+            if (st == DsaDevice::SubmitStatus::Accepted) {
+                accepted = true;
+                break;
+            }
+            if (st == DsaDevice::SubmitStatus::Rejected)
+                break; // terminal: the record carries the cause
+            if (attempt >= cfg.maxRetries) {
+                ++t.stats.giveUps;
+                break;
+            }
+            ++t.stats.retries;
+            // Full-jitter exponential backoff. The jitter draw is a
+            // pure function of (seed, tenant, request, attempt):
+            // retry spreading decorrelates tenants yet replays
+            // identically for any partition count.
+            const double u = t.jitter.uniformAt(
+                k * (cfg.maxRetries + 1ULL) + attempt);
+            const Tick jittered =
+                pause - static_cast<Tick>(cfg.backoffJitter * u *
+                                          static_cast<double>(pause));
+            t.core->cycleAccount().charge("enqcmd-backoff", jittered);
+            co_await sim.delay(std::max<Tick>(1, jittered));
+            pause = std::min(pause * 2, cfg.backoffCap);
+        }
+        if (accepted) {
+            ++t.stats.hwAccepted;
+            co_await awaitCompletion(t, cr);
+            harvest(cr, out);
+            t.breaker.onOutcome(sim.now(), false);
+            if (out.ok) {
+                servedHw = true;
+                wantFallback = false;
+                ++t.stats.hwOk;
+                t.stats.goodputBytes += d.size;
+            } else {
+                ++t.stats.hwErrors;
+            }
+        } else if (cr.isDone()) {
+            // Portal rejection (disabled device, injected drop).
+            ++t.stats.hwErrors;
+            t.breaker.onOutcome(sim.now(), false);
+        } else {
+            // The SWQ stayed full through the last bounded retry.
+            t.breaker.onOutcome(sim.now(), true);
+        }
+    } else {
+        ++t.stats.shedBreaker;
+    }
+
+    if (!servedHw) {
+        if (wantFallback) {
+            // Graceful degradation: the request completes on the
+            // CPU path at CPU cost rather than hanging or erroring.
+            OpResult sw;
+            co_await ex.executeSoftware(*t.core, d, sw);
+            out = sw;
+            ++t.stats.fallbacks;
+            if (sw.ok)
+                t.stats.goodputBytes += d.size;
+        } else {
+            ++t.stats.failures;
+        }
+    }
+
+    t.stats.latencyUs.add(toUs(sim.now() - t0));
+}
+
+TenantStats
+ServingNode::aggregate() const
+{
+    TenantStats total;
+    for (const auto &t : tenants)
+        total.merge(t->stats);
+    return total;
+}
+
+} // namespace dsasim::dml

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "dsa/qos.hh"
 #include "sim/logging.hh"
 
 namespace dsasim
@@ -189,9 +190,23 @@ DsaDevice::submit(WorkQueue &wq, const WorkDescriptor &d)
     bool forcedReject =
         faultInjector &&
         faultInjector->fire(FaultSite::WqReject,
-                            {id, wq.id, -1, static_cast<int>(d.op)});
+                            {id, wq.id, -1, static_cast<int>(d.op),
+                             static_cast<std::int64_t>(d.pasid)});
     if (forcedReject)
         ++injectedRejects;
+    if (!forcedReject && wq.mode == WorkQueue::Mode::Shared &&
+        wq.admission) {
+        // Per-tenant admission policy ahead of the portal occupancy
+        // check; a non-Admit verdict looks exactly like a full SWQ
+        // to the submitter (ENQCMD Retry), so clients need no new
+        // protocol to live under a rate limit.
+        auto v = wq.admission->admit(d.pasid, simulation.now(),
+                                     wq.occupancy(), wq.threshold);
+        if (v != WqAdmission::Verdict::Admit) {
+            ++descriptorsRetried;
+            return SubmitStatus::Retry;
+        }
+    }
     if (forcedReject || (wq.mode == WorkQueue::Mode::Shared
                              ? wq.aboveThreshold()
                              : wq.full())) {

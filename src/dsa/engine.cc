@@ -209,7 +209,8 @@ Engine::process(Work w)
 
     // ---- Fault injection (before validation: hardware-level) -------
     if (FaultInjector *fi = dev.injector()) {
-        FaultQuery q{dev.deviceId(), -1, id, static_cast<int>(d.op)};
+        FaultQuery q{dev.deviceId(), -1, id, static_cast<int>(d.op),
+                     static_cast<std::int64_t>(d.pasid)};
         if (fi->fire(FaultSite::DeviceDisable, q)) {
             // A surprise disable mid-flight. Deferred a tick so the
             // disable is not reentrant with this engine's dispatch;

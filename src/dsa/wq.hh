@@ -21,6 +21,7 @@ namespace dsasim
 {
 
 class Group;
+class WqAdmission;
 
 class WorkQueue
 {
@@ -136,6 +137,14 @@ class WorkQueue
     const unsigned threshold;
 
     Group *group = nullptr;
+
+    /**
+     * Optional per-tenant admission policy consulted by the portal
+     * for Shared WQs (dsa/qos.hh). Non-owning and outside the
+     * checkpoint boundary: the installing layer (serving, bench)
+     * owns its lifetime and policy state.
+     */
+    WqAdmission *admission = nullptr;
 
     /** Arbiter bookkeeping: last tick this WQ was served. */
     std::uint64_t lastServed = 0;

@@ -68,8 +68,10 @@ class Iommu
         // Injected fault: the page behaves as transiently non-present
         // (e.g. reclaimed between CPU touch and device access), even
         // if the IOTLB or the page table says otherwise.
+        FaultQuery pfq;
+        pfq.pasid = static_cast<std::int64_t>(pasid);
         bool injected = faultInjector &&
-                        faultInjector->fire(FaultSite::PageFault, {});
+                        faultInjector->fire(FaultSite::PageFault, pfq);
         if (injected)
             ++injectedFaults;
         if (!injected && iotlb.lookup(pasid, page_base) && m->present) {

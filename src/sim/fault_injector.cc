@@ -45,6 +45,8 @@ FaultInjector::matches(const FaultRule &r, const FaultQuery &q) const
         return false;
     if (r.opcode >= 0 && r.opcode != q.opcode)
         return false;
+    if (r.pasid >= 0 && r.pasid != q.pasid)
+        return false;
     return true;
 }
 
@@ -103,6 +105,8 @@ FaultInjector::summary() const
             os << " wq=" << r.wq;
         if (r.engine >= 0)
             os << " engine=" << r.engine;
+        if (r.pasid >= 0)
+            os << " pasid=" << r.pasid;
         os << ": " << r.fires << "/" << r.matches << " fired\n";
     }
     return os.str();
@@ -189,6 +193,8 @@ FaultInjector::fromSpec(const std::string &spec, std::uint64_t seed)
                     r.wq = std::stoi(val);
                 } else if (key == "engine") {
                     r.engine = std::stoi(val);
+                } else if (key == "pasid") {
+                    r.pasid = std::stoll(val);
                 } else if (key == "op") {
                     r.opcode = parseOpcode(val);
                 } else if (key == "error") {

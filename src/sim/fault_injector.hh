@@ -23,9 +23,14 @@
  *          max=<N>         stop after N fires (default unbounded,
  *                          1 for at=)
  *          device=<id> wq=<id> engine=<id> op=<opcode-name>
+ *          pasid=<id>      target one tenant's address space
  *          error=read|write|decode   (hw-error payload)
  *
  * Example: DSASIM_FAULTS="hw-error:p=0.01,op=memmove;hang:every=5000"
+ *
+ * The pasid= scope is the multi-tenant blast-radius knob: a chaos
+ * run can aim every fault at one tenant and assert that neighbors'
+ * SLO counters stay clean (tests/test_serving.cc).
  */
 
 #ifndef DSASIM_SIM_FAULT_INJECTOR_HH
@@ -71,6 +76,7 @@ struct FaultQuery
     int wq = -1;
     int engine = -1;
     int opcode = -1; ///< static_cast<int>(Opcode), -1 if n/a
+    std::int64_t pasid = -1; ///< tenant address space, -1 if n/a
 };
 
 struct FaultRule
@@ -91,6 +97,7 @@ struct FaultRule
     int wq = -1;
     int engine = -1;
     int opcode = -1;
+    std::int64_t pasid = -1;
     /// @}
 
     /** CompletionError rules: which hardware error to report. */

@@ -1,0 +1,19 @@
+// Fixture: tenant-rng rule. Linted as if at src/sim/traffic_fixture.cc.
+#include "sim/random.hh"
+#include "sim/traffic.hh"
+
+double
+statefulInterarrival(unsigned long long seed)
+{
+    // The k-th draw depends on who drew before it: banned here.
+    dsasim::Rng rng(seed);
+    return rng.uniform();
+}
+
+double
+counterInterarrival(unsigned long long seed, unsigned long long k)
+{
+    // Pure function of (seed, k): the sanctioned idiom.
+    dsasim::CounterRng rng(seed, 0);
+    return rng.uniformAt(k);
+}

@@ -17,8 +17,16 @@
  * completion (status, bytes, crc, result) plus the final virtual time
  * and comparing two runs.
  *
+ * With --overload the soak instead drives the multi-tenant serving
+ * path (dml/serving.hh): an open-loop tenant population whose offered
+ * load exceeds the SWQ's capacity, with engine hangs and portal
+ * rejections injected mid-storm. Invariants: every arrival reaches a
+ * terminal outcome (zero hangs), ENQCMD retries stay within the
+ * bounded-backoff policy, degradation actually engages (CPU
+ * fallbacks), and a replay produces the identical event-stream hash.
+ *
  * Usage: chaos_soak [--n=100000] [--seed=1] [--faults=SPEC]
- *                   [--no-replay]
+ *                   [--no-replay] [--overload]
  */
 
 #include <cstdio>
@@ -28,9 +36,12 @@
 #include <vector>
 
 #include "dml/dml.hh"
+#include "dml/serving.hh"
 #include "driver/platform.hh"
+#include "dsa/qos.hh"
 #include "ops/crc32.hh"
 #include "sim/random.hh"
+#include "sim/traffic.hh"
 
 using namespace dsasim;
 
@@ -46,12 +57,19 @@ constexpr const char *kDefaultFaults =
     "hang:every=7001;"
     "disable:every=23003";
 
+/** Overload-mode default: storms, not data corruption. */
+constexpr const char *kOverloadFaults =
+    "hang:every=401;"
+    "wq-reject:p=0.005";
+
 struct Options
 {
     std::uint64_t n = 100000;
     std::uint64_t seed = 1;
     std::string faults = kDefaultFaults;
+    bool faultsOverridden = false;
     bool replay = true;
+    bool overload = false;
 };
 
 struct RunStats
@@ -262,6 +280,217 @@ soak(const Options &opt)
     return stats;
 }
 
+/** Aggregated outcome of one overload-soak run. */
+struct OverloadStats
+{
+    std::uint64_t hash = 0;
+    Tick endTick = 0;
+    dml::TenantStats total;
+    std::uint64_t breakerOpens = 0;
+    std::uint64_t breakerCloses = 0;
+    std::uint64_t admissionThrottled = 0;
+    std::uint64_t admissionBusy = 0;
+    std::uint64_t watchdogFires = 0;
+    std::uint64_t offered = 0;
+    unsigned maxRetries = 0;
+};
+
+/**
+ * Overload soak: an open-loop tenant population whose offered load
+ * exceeds one 32-deep SWQ, with hangs and portal rejections injected
+ * mid-storm. Everything is seeded/counter-based, so two runs must
+ * produce identical event streams.
+ */
+OverloadStats
+overloadSoak(const Options &opt)
+{
+    const unsigned tenants = 192;
+    const std::uint64_t requests =
+        std::max<std::uint64_t>(2, opt.n / tenants);
+
+    Simulation sim;
+    sim.enableStreamHash(true);
+    PlatformConfig cfg = PlatformConfig::spr();
+    cfg.numCores = 4;
+    cfg.numDsaDevices = 1;
+    cfg.mem.llc.sizeBytes = 8 << 20;
+    for (auto &node : cfg.mem.nodes)
+        node.capacityBytes = 2ull << 30;
+    Platform plat(sim, cfg);
+    Platform::configureBasic(plat.dsa(0), 32, 2,
+                             WorkQueue::Mode::Shared);
+
+    const std::string spec =
+        opt.faultsOverridden ? opt.faults : kOverloadFaults;
+    if (!spec.empty()) {
+        plat.setFaultInjector(
+            FaultInjector::fromSpec(spec, opt.seed));
+    }
+
+    dml::ExecutorConfig ec;
+    ec.path = dml::Path::Hardware;
+    dml::Executor exec(sim, plat.mem(), plat.kernels(),
+                       std::vector<DsaDevice *>{&plat.dsa(0)}, ec);
+
+    dml::ServingConfig sc;
+    sc.maxRetries = 4;
+    sc.backoffBase = fromNs(200);
+    sc.backoffCap = fromUs(2);
+    sc.outstandingCap = 16;
+    sc.watchdogTimeout = fromUs(500); // injected hangs must unwedge
+    sc.cpuFallback = true;
+    sc.breaker.window = 16;
+    sc.breaker.cooldown = fromUs(150);
+    sc.seed = opt.seed;
+    dml::ServingNode node(sim, exec, sc);
+
+    WqAdmission::Config ac;
+    ac.bucket = {3000, 8};
+    WqAdmission admission(ac);
+    plat.dsa(0).wq(0).admission = &admission;
+
+    const ArrivalMix mix = ArrivalMix::parse(
+        "poisson:rate=2000,weight=3,bytes=1024;"
+        "bursty:rate=4000,factor=16,period=24,duty=0.25,weight=1,"
+        "bytes=16384");
+
+    Latch done(sim, tenants * requests);
+    for (unsigned t = 0; t < tenants; ++t) {
+        const ArrivalClass &cls = mix.classFor(t);
+        AddressSpace &as = plat.mem().createSpace();
+        const std::uint64_t bytes = cls.payloadBytes;
+        Addr src = as.alloc(bytes);
+        Addr dst = as.alloc(bytes);
+        auto make = [&as, src, dst,
+                     bytes](std::uint64_t k) -> WorkDescriptor {
+            switch (k % 3) {
+              case 0:
+                return dml::Executor::memMove(as, dst, src, bytes);
+              case 1:
+                return dml::Executor::crc32(as, src, bytes);
+              default:
+                return dml::Executor::comparePattern(as, src, 0,
+                                                     bytes);
+            }
+        };
+        dml::TenantSession &sess = node.addTenant(
+            as.pasid(), plat.core(t % 4), plat.dsa(0),
+            plat.dsa(0).wq(0), make);
+        node.openLoop(sess, ArrivalStream(opt.seed, t, cls),
+                      requests, done);
+    }
+    sim.run();
+
+    OverloadStats st;
+    st.offered = static_cast<std::uint64_t>(tenants) * requests;
+    st.maxRetries = sc.maxRetries;
+    if (!done.done()) {
+        std::fprintf(stderr,
+                     "FATAL: overload soak hung — %llu request(s) "
+                     "never reached a terminal outcome\n",
+                     static_cast<unsigned long long>(done.pending()));
+        std::abort();
+    }
+    st.total = node.aggregate();
+    for (const auto &sess : node.sessions()) {
+        st.breakerOpens += sess->breaker.opens;
+        st.breakerCloses += sess->breaker.closes;
+    }
+    st.admissionThrottled = admission.totalThrottled;
+    st.admissionBusy = admission.totalBusy;
+    st.watchdogFires = node.watchdogFires;
+    st.endTick = sim.now();
+
+    st.hash = sim.streamHash();
+    fnv1a(st.hash, st.endTick);
+    fnv1a(st.hash, st.total.completed());
+    fnv1a(st.hash, st.total.retries);
+    fnv1a(st.hash, st.total.fallbacks);
+    fnv1a(st.hash, st.total.dropped);
+    fnv1a(st.hash, st.breakerOpens);
+    fnv1a(st.hash, st.admissionThrottled + st.admissionBusy);
+    return st;
+}
+
+int
+overloadMain(const Options &opt)
+{
+    OverloadStats first = overloadSoak(opt);
+    std::printf("chaos_soak --overload: %llu offered requests, "
+                "seed %llu\n",
+                static_cast<unsigned long long>(first.offered),
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("  completed/dropped:   %llu / %llu\n",
+                static_cast<unsigned long long>(
+                    first.total.completed()),
+                static_cast<unsigned long long>(first.total.dropped));
+    std::printf("  hw ok / fallbacks:   %llu / %llu\n",
+                static_cast<unsigned long long>(first.total.hwOk),
+                static_cast<unsigned long long>(
+                    first.total.fallbacks));
+    std::printf("  retries / give-ups:  %llu / %llu\n",
+                static_cast<unsigned long long>(first.total.retries),
+                static_cast<unsigned long long>(first.total.giveUps));
+    std::printf("  breaker opens/closes: %llu / %llu\n",
+                static_cast<unsigned long long>(first.breakerOpens),
+                static_cast<unsigned long long>(first.breakerCloses));
+    std::printf("  admission throttled/busy: %llu / %llu\n",
+                static_cast<unsigned long long>(
+                    first.admissionThrottled),
+                static_cast<unsigned long long>(first.admissionBusy));
+    std::printf("  watchdog fires:      %llu\n",
+                static_cast<unsigned long long>(first.watchdogFires));
+    std::printf("  virtual end time:    %.3f ms\n",
+                toUs(first.endTick) / 1000.0);
+    std::printf("  event hash:          %016llx\n",
+                static_cast<unsigned long long>(first.hash));
+
+    // Invariant: every arrival accounted, terminally.
+    if (first.total.arrivals != first.offered ||
+        first.total.completed() + first.total.dropped !=
+            first.offered) {
+        std::fprintf(stderr,
+                     "FATAL: request accounting leaked (%llu arrivals "
+                     "of %llu offered)\n",
+                     static_cast<unsigned long long>(
+                         first.total.arrivals),
+                     static_cast<unsigned long long>(first.offered));
+        return 1;
+    }
+    // Invariant: retry storms stay bounded by the backoff policy.
+    if (first.total.retries >
+        first.total.issued * first.maxRetries) {
+        std::fprintf(stderr, "FATAL: retry count exceeds the bounded "
+                             "backoff policy\n");
+        return 1;
+    }
+    // Invariant: the scenario is an actual overload — degradation
+    // must have engaged, or the soak proves nothing.
+    if (first.total.retries == 0 || first.total.fallbacks == 0) {
+        std::fprintf(stderr, "FATAL: overload never engaged "
+                             "(no retries or no fallbacks)\n");
+        return 1;
+    }
+
+    if (opt.replay) {
+        OverloadStats second = overloadSoak(opt);
+        if (second.hash != first.hash ||
+            second.endTick != first.endTick) {
+            std::fprintf(stderr,
+                         "FATAL: overload replay diverged (hash "
+                         "%016llx vs %016llx)\n",
+                         static_cast<unsigned long long>(first.hash),
+                         static_cast<unsigned long long>(
+                             second.hash));
+            return 1;
+        }
+        std::printf("replay: identical event sequence (hash "
+                    "match)\n");
+    }
+    std::printf("chaos_soak --overload: PASS\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -280,17 +509,24 @@ main(int argc, char **argv)
             opt.n = std::strtoull(v1, nullptr, 0);
         else if (const char *v2 = val("--seed="))
             opt.seed = std::strtoull(v2, nullptr, 0);
-        else if (const char *v3 = val("--faults="))
+        else if (const char *v3 = val("--faults=")) {
             opt.faults = v3;
-        else if (a == "--no-replay")
+            opt.faultsOverridden = true;
+        } else if (a == "--no-replay")
             opt.replay = false;
+        else if (a == "--overload")
+            opt.overload = true;
         else {
             std::fprintf(stderr,
                          "usage: chaos_soak [--n=N] [--seed=S] "
-                         "[--faults=SPEC] [--no-replay]\n");
+                         "[--faults=SPEC] [--no-replay] "
+                         "[--overload]\n");
             return 2;
         }
     }
+
+    if (opt.overload)
+        return overloadMain(opt);
 
     RunStats first = soak(opt);
     std::printf("chaos_soak: %llu descriptors, seed %llu\n",

@@ -55,6 +55,18 @@ echo "== Parallel partition gate (BENCH_parallel.json) =="
 "$root/build-release/bench/bench_parallel" \
     --check="$root/BENCH_parallel.json"
 
+echo "== Serving SLO gate (BENCH_serving.json, DESIGN.md §12) =="
+"$root/build-release/bench/bench_serving" \
+    --check="$root/BENCH_serving.json"
+
+echo "== Overload soak + serving determinism (1 thread vs 4) =="
+"$root/build-release/tools/chaos_soak" --overload --n=3000 --seed=1
+"$root/build-release/tools/determinism_check" --serving \
+    --partitions=4 --n=512 --seed=1
+"$root/build-release/tools/determinism_check" --serving \
+    --partitions=4 --n=512 --seed=1 \
+    --faults='page-fault:p=0.05,pasid=3;wq-reject:p=0.01'
+
 echo "== ASan/UBSan build + tests =="
 # Leak checking stays off: SimTask coroutines are fire-and-forget by
 # design (sim/task.hh), so tearing a platform down mid-run abandons

@@ -39,8 +39,17 @@
  * restored into a freshly built cluster, on differing thread
  * counts).
  *
+ * With --serving the harness guards the serving-stack contract
+ * (DESIGN.md §12): a 2-socket cluster of open-loop PASID-isolated
+ * tenants runs through the full degradation ladder — WQ admission
+ * (token buckets + class limits), bounded jittered ENQCMD backoff,
+ * circuit breakers, CPU fallback — on 1 worker thread and on K
+ * (--partitions, default 4), and the fingerprints must be
+ * bit-identical mid-overload. Composes with --faults (per-socket
+ * injectors, e.g. pasid=-scoped rules).
+ *
  * Usage: determinism_check [--n=2000] [--seed=42] [--faults=SPEC]
- *                          [--fork] [--partitions=K]
+ *                          [--fork] [--partitions=K] [--serving]
  */
 
 #include <algorithm>
@@ -51,10 +60,13 @@
 #include <vector>
 
 #include "dml/dml.hh"
+#include "dml/serving.hh"
 #include "driver/cluster.hh"
 #include "driver/platform.hh"
 #include "driver/snapshot.hh"
+#include "dsa/qos.hh"
 #include "sim/random.hh"
+#include "sim/traffic.hh"
 
 using namespace dsasim;
 
@@ -68,6 +80,7 @@ struct Options
     std::string faults; ///< empty = no injection
     bool fork = false;  ///< cold-vs-forked instead of run-vs-rerun
     unsigned partitions = 0; ///< >0: 1-thread vs K-thread cluster
+    bool serving = false; ///< serving-stack scenario (DESIGN.md §12)
 };
 
 struct Fingerprint
@@ -524,6 +537,162 @@ runPartitionForkCheck(const Options &opt)
     return 0;
 }
 
+/**
+ * Serving-stack guard (--serving): the full overload degradation
+ * ladder — open-loop tenants, WQ admission, jittered backoff,
+ * breakers, CPU fallback — simulated on a 2-socket cluster at 1
+ * worker thread and at K. The fingerprint folds the cross-domain
+ * stream hash with per-tenant terminal counters, so a single retry
+ * or shed decided differently on the K-thread run fails the check.
+ */
+Fingerprint
+runServingScenario(const Options &opt, unsigned threads)
+{
+    const unsigned tenants = 64;
+    const std::uint64_t requests =
+        std::max<std::uint64_t>(1, opt.n / tenants);
+
+    ClusterConfig cc;
+    cc.sockets = 2;
+    cc.socket = PlatformConfig::spr();
+    cc.socket.numCores = 4;
+    cc.socket.numDsaDevices = 1;
+    cc.socket.dsaTopology =
+        DsaTopology::basic(32, 2, WorkQueue::Mode::Shared);
+    for (auto &node : cc.socket.mem.nodes)
+        node.capacityBytes = 1ull << 30;
+    SocketCluster cl(cc);
+    cl.enableStreamHash(true);
+
+    struct Rig
+    {
+        std::unique_ptr<dml::Executor> exec;
+        std::unique_ptr<dml::ServingNode> node;
+        std::unique_ptr<WqAdmission> admission;
+        std::unique_ptr<Latch> done;
+    };
+    std::vector<Rig> rigs(cl.socketCount());
+
+    dml::ServingConfig sc;
+    sc.maxRetries = 4;
+    sc.backoffBase = fromNs(200);
+    sc.backoffCap = fromUs(2);
+    sc.outstandingCap = 12;
+    sc.watchdogTimeout = fromUs(500);
+    sc.breaker.window = 16;
+    sc.breaker.cooldown = fromUs(150);
+    sc.seed = opt.seed;
+
+    for (unsigned s = 0; s < cl.socketCount(); ++s) {
+        Platform &p = cl.plat(s);
+        if (!opt.faults.empty()) {
+            p.setFaultInjector(
+                FaultInjector::fromSpec(opt.faults, opt.seed + s));
+        }
+        Rig &rig = rigs[s];
+        dml::ExecutorConfig ec;
+        ec.path = dml::Path::Hardware;
+        rig.exec = std::make_unique<dml::Executor>(
+            cl.sim(s), p.mem(), p.kernels(),
+            std::vector<DsaDevice *>{&p.dsa(0)}, ec);
+        rig.node = std::make_unique<dml::ServingNode>(cl.sim(s),
+                                                      *rig.exec, sc);
+        WqAdmission::Config ac;
+        ac.bucket = {3000, 8};
+        rig.admission = std::make_unique<WqAdmission>(ac);
+        p.dsa(0).wq(0).admission = rig.admission.get();
+        const std::uint64_t onSocket =
+            (tenants - s + cl.socketCount() - 1) / cl.socketCount();
+        rig.done = std::make_unique<Latch>(cl.sim(s),
+                                           onSocket * requests);
+    }
+
+    const ArrivalMix mix = ArrivalMix::parse(
+        "poisson:rate=2000,weight=3,bytes=1024;"
+        "bursty:rate=4000,factor=16,period=24,duty=0.25,weight=1,"
+        "bytes=16384");
+    for (unsigned t = 0; t < tenants; ++t) {
+        const unsigned s = t % cl.socketCount();
+        Platform &p = cl.plat(s);
+        const ArrivalClass &cls = mix.classFor(t);
+        AddressSpace &as = p.mem().createSpace();
+        const std::uint64_t bytes = cls.payloadBytes;
+        Addr src = as.alloc(bytes);
+        Addr dst = as.alloc(bytes);
+        auto make = [&as, src, dst,
+                     bytes](std::uint64_t k) -> WorkDescriptor {
+            switch (k % 3) {
+              case 0:
+                return dml::Executor::memMove(as, dst, src, bytes);
+              case 1:
+                return dml::Executor::crc32(as, src, bytes);
+              default:
+                return dml::Executor::comparePattern(as, src, 0,
+                                                     bytes);
+            }
+        };
+        dml::TenantSession &sess = rigs[s].node->addTenant(
+            as.pasid(), p.core(t % 4), p.dsa(0), p.dsa(0).wq(0),
+            make);
+        rigs[s].node->openLoop(sess, ArrivalStream(opt.seed, t, cls),
+                               requests, *rigs[s].done);
+    }
+    cl.run(threads);
+
+    Fingerprint fp;
+    fp.streamHash = cl.streamHash();
+    fp.eventsExecuted = cl.eventsExecuted();
+    fp.endTick = cl.endTick();
+    for (unsigned s = 0; s < cl.socketCount(); ++s) {
+        if (!rigs[s].done->done()) {
+            std::fprintf(stderr,
+                         "FAIL: serving scenario hung on socket %u "
+                         "(%llu request(s) unaccounted)\n",
+                         s,
+                         static_cast<unsigned long long>(
+                             rigs[s].done->pending()));
+            std::exit(1);
+        }
+        const dml::TenantStats total = rigs[s].node->aggregate();
+        fnv1a(fp.completionHash, total.completed());
+        fnv1a(fp.completionHash, total.retries);
+        fnv1a(fp.completionHash, total.giveUps);
+        fnv1a(fp.completionHash, total.fallbacks);
+        fnv1a(fp.completionHash, total.dropped);
+        fnv1a(fp.completionHash, total.shedBreaker);
+        fnv1a(fp.completionHash,
+              rigs[s].admission->totalThrottled +
+                  rigs[s].admission->totalBusy);
+    }
+    return fp;
+}
+
+int
+runServingCheck(const Options &opt)
+{
+    const unsigned k = opt.partitions ? opt.partitions : 4;
+    Fingerprint serial = runServingScenario(opt, 1);
+    print("1 thread ", serial);
+    Fingerprint par = runServingScenario(opt, k);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%u threads", k);
+    print(label, par);
+
+    if (!(serial == par)) {
+        std::fprintf(stderr,
+                     "FAIL: the %u-thread serving run diverged from "
+                     "the serial run — an admission, backoff, or "
+                     "breaker decision leaked the worker-thread "
+                     "count\n",
+                     k);
+        return 1;
+    }
+    std::printf("determinism_check --serving --partitions=%u: PASS "
+                "(64 tenants, seed %llu)\n",
+                k, static_cast<unsigned long long>(opt.seed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -549,15 +718,19 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(v4, nullptr, 0));
         else if (a == "--fork")
             opt.fork = true;
+        else if (a == "--serving")
+            opt.serving = true;
         else {
             std::fprintf(stderr,
                          "usage: determinism_check [--n=N] "
                          "[--seed=S] [--faults=SPEC] [--fork] "
-                         "[--partitions=K]\n");
+                         "[--partitions=K] [--serving]\n");
             return 2;
         }
     }
 
+    if (opt.serving)
+        return runServingCheck(opt);
     if (opt.partitions > 0)
         return opt.fork ? runPartitionForkCheck(opt)
                         : runPartitionCheck(opt);

@@ -35,6 +35,12 @@
  *                   stays canonical; ad-hoc synchronization makes
  *                   delivery order depend on the worker-thread count
  *                   (DESIGN.md §11).
+ *   tenant-rng      no stateful Rng in per-tenant traffic code
+ *                   (sim/traffic.*) — arrival streams must be
+ *                   counter-based (CounterRng::at(k)) so the k-th
+ *                   variate is a pure function of (seed, tenant, k),
+ *                   independent of event interleaving and
+ *                   DSASIM_PARTITIONS (DESIGN.md §12).
  *   banned-fn       no unbounded C string functions (strcpy, strcat,
  *                   sprintf, vsprintf, gets) anywhere.
  *   volatile-sync   no 'volatile' anywhere — it is not a
@@ -461,6 +467,8 @@ class Linter
             if (lp.find("sim/partition.") == std::string::npos)
                 checkCrossDomain(f);
         }
+        if (lp.find("sim/traffic") != std::string::npos)
+            checkTenantRng(f);
         checkBannedFn(f);
         checkVolatile(f);
         if (isHeader(lp))
@@ -737,6 +745,27 @@ class Linter
     }
 
     void
+    checkTenantRng(ScannedFile &f)
+    {
+        // Traffic-generation code feeds thousands of concurrent
+        // tenant streams: a stateful generator would make the k-th
+        // variate depend on which tenant drew before it (and hence
+        // on event interleaving / the partition count). CounterRng
+        // is a distinct token and stays legal.
+        for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+            const Token &t = f.tokens[i];
+            if (t.isIdent && t.text == "Rng" && !isMember(f, i)) {
+                report(f, t.line, t.col, "tenant-rng",
+                       "stateful 'Rng' in per-tenant traffic code",
+                       "arrival streams must be counter-based "
+                       "(CounterRng::at(k), sim/traffic.hh) so every "
+                       "variate is a pure function of "
+                       "(seed, tenant, k)");
+            }
+        }
+    }
+
+    void
     checkBannedFn(ScannedFile &f)
     {
         static const std::map<std::string, std::string> banned = {
@@ -908,6 +937,8 @@ const char *kRuleHelp =
     "directories\n"
     "  cross-domain     host threading primitives in tick-affecting "
     "code outside sim/partition.*\n"
+    "  tenant-rng       stateful Rng in per-tenant traffic code "
+    "(sim/traffic.*)\n"
     "  banned-fn        strcpy/strcat/sprintf/vsprintf/gets "
     "anywhere\n"
     "  volatile-sync    'volatile' used anywhere\n"
