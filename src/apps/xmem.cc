@@ -38,7 +38,11 @@ XMemProbe::accessOnce()
 void
 XMemProbe::warmAll()
 {
-    for (Addr va = base; va < base + ws; va += cacheLineSize) {
+    // Stays line-at-a-time: the probe models dependent CPU loads,
+    // and each cpuAccess must age the LRU stack individually so the
+    // chase sees the same residency a real pointer walk would.
+    for (Addr va = base; va < base + ws;
+         va += cacheLineSize) { // simlint:allow(acct-loop)
         Addr pa = as.translate(va);
         plat.mem().cache().cpuAccess(pa, probeCore.id(), false);
     }

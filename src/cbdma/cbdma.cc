@@ -122,11 +122,7 @@ CbdmaDevice::channelLoop(unsigned channel)
             }
             int dst_node = MemSystem::paNode(d.dstPa + off);
             // Invalidate any cached copies (coherent, non-alloc).
-            for (Addr a = lineAlignDown(d.dstPa + off);
-                 a < lineAlignUp(d.dstPa + off + run);
-                 a += cacheLineSize) {
-                mem.cache().invalidate(a);
-            }
+            mem.cache().evictSpan(d.dstPa + off, run);
             link_end = std::max(
                 link_end, mem.occupyWrite(dst_node, socketId, run));
             pace = std::max(pace + transferTime(run, cfg.channelGBps),

@@ -92,8 +92,12 @@ SwKernels::touchRange(Core &core, AddressSpace &as, Addr va,
         Addr line_end = lineAlignUp(pa + run);
         std::uint64_t miss_read_bytes = 0;
         std::uint64_t wb_bytes_local = 0;
+        // Stays line-at-a-time: each dirty victim's writeback is
+        // charged to that victim's node with its own occupy() call,
+        // whose duration rounds per call — batching would change
+        // ticks (DESIGN.md §13 explains the rounding constraint).
         for (Addr a = lineAlignDown(pa); a < line_end;
-             a += cacheLineSize) {
+             a += cacheLineSize) { // simlint:allow(acct-loop)
             if (is_write && !allocate) {
                 // Non-temporal store: bypass and invalidate.
                 llc.invalidate(a);
@@ -508,14 +512,10 @@ SwKernels::cacheFlushOp(Core &core, AddressSpace &as, Addr addr,
         int node_id = MemSystem::paNode(pa);
         if (rc.nodeId < 0)
             rc.nodeId = node_id;
-        Addr line_end = lineAlignUp(pa + run);
-        std::uint64_t wb_bytes = 0;
-        for (Addr a = lineAlignDown(pa); a < line_end;
-             a += cacheLineSize) {
-            rc.coreTicks += p.flushPerLine;
-            if (mem.cache().flushLine(a))
-                wb_bytes += cacheLineSize;
-        }
+        rc.coreTicks += static_cast<Tick>(linesCovered(pa, run)) *
+                        p.flushPerLine;
+        std::uint64_t wb_bytes =
+            mem.cache().flushSpan(pa, run).writebackBytes;
         if (wb_bytes > 0) {
             Tick end = mem.node(node_id).writeLink.occupy(wb_bytes);
             rc.linkEnd = std::max(rc.linkEnd, end);

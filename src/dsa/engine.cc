@@ -657,13 +657,9 @@ Engine::process(Work w)
         while (remaining > 0) {
             std::uint64_t run =
                 std::min<std::uint64_t>(remaining, p.chunkBytes);
-            std::uint64_t wb = 0;
             Addr pa0 = as.translate(cursor);
-            for (Addr a = lineAlignDown(pa0);
-                 a < lineAlignUp(pa0 + run); a += cacheLineSize) {
-                if (llc.flushLine(a))
-                    wb += cacheLineSize;
-            }
+            std::uint64_t wb =
+                llc.flushSpan(pa0, run).writebackBytes;
             Tick link_end = 0;
             if (wb > 0) {
                 int nid = MemSystem::paNode(pa0);
@@ -749,42 +745,35 @@ Engine::process(Work w)
                     int nid = MemSystem::paNode(pa);
 
                     if (!s.write) {
-                        std::uint64_t hit_b = 0, miss_b = 0;
-                        for (Addr a = lineAlignDown(pa);
-                             a < lineAlignUp(pa + seg);
-                             a += cacheLineSize) {
-                            if (llc.deviceRead(a).hit)
-                                hit_b += cacheLineSize;
-                            else
-                                miss_b += cacheLineSize;
-                        }
+                        // One span call classifies every line the
+                        // segment covers (DESIGN.md §13).
+                        CacheModel::SpanResult sr =
+                            llc.probeSpan(pa, seg);
                         link_end = std::max(
                             link_end, dev.fabricRead().occupy(seg));
-                        if (miss_b > 0) {
+                        if (sr.missBytes > 0) {
                             link_end = std::max(
                                 link_end,
                                 mem.occupyRead(nid, dev.socket(),
-                                               miss_b));
+                                               sr.missBytes));
                         }
-                        if (hit_b > 0) {
+                        if (sr.hitBytes > 0) {
                             link_end = std::max(
                                 link_end,
-                                mem.llcLink().occupy(hit_b));
+                                mem.llcLink().occupy(sr.hitBytes));
                         }
                         bytesRead += seg;
                     } else {
-                        std::uint64_t evict_wb = 0;
-                        Addr evict_node_pa = 0;
-                        for (Addr a = lineAlignDown(pa);
-                             a < lineAlignUp(pa + seg);
-                             a += cacheLineSize) {
-                            auto res = llc.deviceWrite(a, owner,
-                                                       llc_hint);
-                            if (res.evictedDirty) {
-                                evict_wb += cacheLineSize;
-                                evict_node_pa = res.evictedPa;
-                            }
-                        }
+                        // Allocating (DDIO) fill or non-allocating
+                        // eviction, per the cache-control hint; the
+                        // aggregate dirty-victim writeback is charged
+                        // to the last victim's node below, as the
+                        // per-line loop's single occupy did.
+                        CacheModel::SpanResult sr = llc_hint
+                            ? llc.fillSpan(pa, seg, owner)
+                            : llc.evictSpan(pa, seg);
+                        std::uint64_t evict_wb = sr.writebackBytes;
+                        Addr evict_node_pa = sr.lastEvictedPa;
                         link_end = std::max(
                             link_end, dev.fabricWrite().occupy(seg));
                         if (llc_hint) {

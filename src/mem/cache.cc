@@ -1,16 +1,38 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <string_view>
 
 #include "sim/logging.hh"
 
 namespace dsasim
 {
+namespace
+{
+
+CacheModel::AcctMode
+acctModeFromEnv()
+{
+    const char *v = std::getenv("DSASIM_CACHE_ACCT");
+    if (!v || v[0] == '\0' || std::string_view(v) == "batched")
+        return CacheModel::AcctMode::Batched;
+    fatal_if(std::string_view(v) != "line",
+             "DSASIM_CACHE_ACCT must be 'batched' or 'line' (got "
+             "'%s')", v);
+    return CacheModel::AcctMode::Line;
+}
+
+} // namespace
 
 CacheModel::CacheModel(const Config &cfg)
-    : config(cfg)
+    : config(cfg), mode(acctModeFromEnv())
 {
     fatal_if(cfg.ways == 0, "LLC must have at least one way");
+    fatal_if(cfg.ways > 64,
+             "LLC ways (%u) exceed the 64-bit set presence mask",
+             cfg.ways);
     fatal_if(cfg.ddioWays > cfg.ways,
              "DDIO ways (%u) exceed total ways (%u)",
              cfg.ddioWays, cfg.ways);
@@ -18,6 +40,7 @@ CacheModel::CacheModel(const Config &cfg)
     sets = static_cast<unsigned>(line_count / cfg.ways);
     fatal_if(sets == 0, "LLC too small for %u ways", cfg.ways);
     lines.resize(static_cast<std::size_t>(sets) * cfg.ways);
+    setMeta.resize(sets);
 }
 
 CacheModel::Line *
@@ -47,18 +70,37 @@ CacheModel::findConst(Addr pa) const
 CacheModel::Line &
 CacheModel::victim(Addr pa, unsigned way_lo, unsigned way_hi)
 {
-    Line *set = &lines[setIndex(pa) * config.ways];
-    // Prefer free ways scanning from the top so CPU fills gravitate
-    // away from the DDIO ways (0..ddioWays) while those are free —
-    // avoiding an artificial placement pathology where demand lines
-    // keep landing in the device-churned partition.
+    std::size_t set = static_cast<std::size_t>(setIndex(pa));
+    return victimInSet(&lines[set * config.ways], maskFor(set),
+                       way_lo, way_hi);
+}
+
+/**
+ * Prefer free ways from the top so CPU fills gravitate away from the
+ * DDIO ways (0..ddioWays) while those are free — avoiding an
+ * artificial placement pathology where demand lines keep landing in
+ * the device-churned partition. With no free way, evict the LRU line
+ * (use-clock values are unique, so the minimum is unambiguous).
+ */
+CacheModel::Line &
+CacheModel::victimInSet(Line *set, std::uint64_t mask,
+                        unsigned way_lo, unsigned way_hi)
+{
+    const std::uint64_t hi_mask =
+        way_hi >= 64 ? ~0ull : (1ull << way_hi) - 1;
+    const std::uint64_t range = hi_mask & ~((1ull << way_lo) - 1);
+    if (std::uint64_t free = ~mask & range) {
+        unsigned w = 63 - static_cast<unsigned>(
+            std::countl_zero(free));
+        // Stale-epoch reclaim goes through dropLine so the occupancy
+        // gauges and presence mask can never drift out of sync with
+        // the directory.
+        dropLine(set[w]);
+        return set[w];
+    }
     Line *best = &set[way_lo];
-    for (unsigned i = way_hi; i-- > way_lo;) {
-        if (!lineValid(set[i])) {
-            set[i].valid = false; // stale epoch: treat as free
-            return set[i];
-        }
-        if (set[i].lastUse <= best->lastUse)
+    for (unsigned i = way_lo + 1; i < way_hi; ++i) {
+        if (set[i].lastUse < best->lastUse)
             best = &set[i];
     }
     return *best;
@@ -69,7 +111,17 @@ CacheModel::dropLine(Line &line)
 {
     if (!line.valid)
         return;
+    // A raw-valid line from a pre-invalidateAll epoch was already
+    // removed from the gauges (and its set mask) by the epoch bump;
+    // only clear the valid bit so the way reads as free.
+    const bool counted = line.epoch == flushEpoch;
     line.valid = false;
+    if (!counted)
+        return;
+    const std::size_t idx =
+        static_cast<std::size_t>(&line - lines.data());
+    maskFor(idx / config.ways) &=
+        ~(1ull << (idx % config.ways));
     --validLines;
     auto it = ownerLines.find(line.owner);
     panic_if(it == ownerLines.end() || it->second == 0,
@@ -93,9 +145,26 @@ CacheModel::installLine(Line &line, Addr pa, int owner, bool dirty,
     line.tag = tagOf(pa);
     line.owner = owner;
     line.lastUse = ++useClock;
+    const std::size_t idx =
+        static_cast<std::size_t>(&line - lines.data());
+    maskFor(idx / config.ways) |= 1ull << (idx % config.ways);
     ++validLines;
     ++ownerLines[owner];
     result.allocated = true;
+}
+
+void
+CacheModel::retagOwner(Line &l, int owner)
+{
+    // Occupancy follows the most recent toucher, as CMT's RMID
+    // accounting effectively does for shared lines.
+    if (l.owner != owner) {
+        auto it = ownerLines.find(l.owner);
+        if (it != ownerLines.end() && it->second > 0)
+            --it->second;
+        l.owner = owner;
+        ++ownerLines[owner];
+    }
 }
 
 CacheModel::AccessResult
@@ -106,15 +175,7 @@ CacheModel::cpuAccess(Addr pa, int owner, bool is_write)
         result.hit = true;
         l->lastUse = ++useClock;
         l->dirty = l->dirty || is_write;
-        // Occupancy follows the most recent toucher, as CMT's RMID
-        // accounting effectively does for shared lines.
-        if (l->owner != owner) {
-            auto it = ownerLines.find(l->owner);
-            if (it != ownerLines.end() && it->second > 0)
-                --it->second;
-            l->owner = owner;
-            ++ownerLines[owner];
-        }
+        retagOwner(*l, owner);
         return result;
     }
     installLine(victim(pa, 0, config.ways), pa, owner, is_write, result);
@@ -147,19 +208,181 @@ CacheModel::deviceWrite(Addr pa, int owner, bool alloc_hint)
         result.hit = true;
         l->lastUse = ++useClock;
         l->dirty = true;
-        if (l->owner != owner) {
-            auto it = ownerLines.find(l->owner);
-            if (it != ownerLines.end() && it->second > 0)
-                --it->second;
-            l->owner = owner;
-            ++ownerLines[owner];
-        }
+        retagOwner(*l, owner);
         return result;
     }
     // DDIO-style allocating write: restricted to the DDIO ways.
     unsigned hi = config.ddioWays > 0 ? config.ddioWays : config.ways;
     installLine(victim(pa, 0, hi), pa, owner, true, result);
     return result;
+}
+
+CacheModel::SpanResult
+CacheModel::probeSpan(Addr pa, std::uint64_t size)
+{
+    SpanResult r;
+    if (size == 0)
+        return r;
+    if (mode == AcctMode::Line) {
+        for (Addr a = lineAlignDown(pa); a < lineAlignUp(pa + size);
+             a += cacheLineSize) {
+            if (deviceRead(a).hit)
+                r.hitBytes += cacheLineSize;
+            else
+                r.missBytes += cacheLineSize;
+        }
+        return r;
+    }
+    const std::uint64_t n = linesCovered(pa, size);
+    std::uint64_t tag = tagOf(pa);
+    std::size_t set = static_cast<std::size_t>(tag % sets);
+    for (std::uint64_t i = 0; i < n; ++i, ++tag) {
+        const std::uint64_t mask = maskFor(set);
+        bool hit = false;
+        if (mask) {
+            Line *s = &lines[set * config.ways];
+            for (std::uint64_t m = mask; m; m &= m - 1) {
+                Line &l = s[std::countr_zero(m)];
+                if (l.tag == tag) {
+                    l.lastUse = ++useClock;
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        (hit ? r.hitBytes : r.missBytes) += cacheLineSize;
+        if (++set == sets)
+            set = 0;
+    }
+    return r;
+}
+
+CacheModel::SpanResult
+CacheModel::fillSpan(Addr pa, std::uint64_t size, int owner)
+{
+    SpanResult r;
+    if (size == 0)
+        return r;
+    if (mode == AcctMode::Line) {
+        for (Addr a = lineAlignDown(pa); a < lineAlignUp(pa + size);
+             a += cacheLineSize) {
+            AccessResult res = deviceWrite(a, owner, true);
+            if (res.hit)
+                r.hitBytes += cacheLineSize;
+            else
+                r.missBytes += cacheLineSize;
+            if (res.evictedDirty) {
+                r.writebackBytes += cacheLineSize;
+                r.lastEvictedPa = res.evictedPa;
+            }
+        }
+        return r;
+    }
+    const unsigned hi =
+        config.ddioWays > 0 ? config.ddioWays : config.ways;
+    const std::uint64_t n = linesCovered(pa, size);
+    std::uint64_t tag = tagOf(pa);
+    std::size_t set = static_cast<std::size_t>(tag % sets);
+    for (std::uint64_t i = 0; i < n; ++i, ++tag) {
+        const std::uint64_t mask = maskFor(set);
+        Line *s = &lines[set * config.ways];
+        Line *hit = nullptr;
+        for (std::uint64_t m = mask; m; m &= m - 1) {
+            Line &l = s[std::countr_zero(m)];
+            if (l.tag == tag) {
+                hit = &l;
+                break;
+            }
+        }
+        if (hit) {
+            r.hitBytes += cacheLineSize;
+            hit->lastUse = ++useClock;
+            hit->dirty = true;
+            retagOwner(*hit, owner);
+        } else {
+            r.missBytes += cacheLineSize;
+            AccessResult res;
+            installLine(victimInSet(s, mask, 0, hi), tag << 6, owner,
+                        true, res);
+            if (res.evictedDirty) {
+                r.writebackBytes += cacheLineSize;
+                r.lastEvictedPa = res.evictedPa;
+            }
+        }
+        if (++set == sets)
+            set = 0;
+    }
+    return r;
+}
+
+CacheModel::SpanResult
+CacheModel::evictSpan(Addr pa, std::uint64_t size)
+{
+    SpanResult r;
+    if (size == 0)
+        return r;
+    if (mode == AcctMode::Line) {
+        for (Addr a = lineAlignDown(pa); a < lineAlignUp(pa + size);
+             a += cacheLineSize)
+            invalidate(a);
+        return r;
+    }
+    const std::uint64_t n = linesCovered(pa, size);
+    std::uint64_t tag = tagOf(pa);
+    std::size_t set = static_cast<std::size_t>(tag % sets);
+    for (std::uint64_t i = 0; i < n; ++i, ++tag) {
+        const std::uint64_t mask = maskFor(set);
+        if (mask) {
+            Line *s = &lines[set * config.ways];
+            for (std::uint64_t m = mask; m; m &= m - 1) {
+                Line &l = s[std::countr_zero(m)];
+                if (l.tag == tag) {
+                    dropLine(l);
+                    break;
+                }
+            }
+        }
+        if (++set == sets)
+            set = 0;
+    }
+    return r;
+}
+
+CacheModel::SpanResult
+CacheModel::flushSpan(Addr pa, std::uint64_t size)
+{
+    SpanResult r;
+    if (size == 0)
+        return r;
+    if (mode == AcctMode::Line) {
+        for (Addr a = lineAlignDown(pa); a < lineAlignUp(pa + size);
+             a += cacheLineSize) {
+            if (flushLine(a))
+                r.writebackBytes += cacheLineSize;
+        }
+        return r;
+    }
+    const std::uint64_t n = linesCovered(pa, size);
+    std::uint64_t tag = tagOf(pa);
+    std::size_t set = static_cast<std::size_t>(tag % sets);
+    for (std::uint64_t i = 0; i < n; ++i, ++tag) {
+        const std::uint64_t mask = maskFor(set);
+        if (mask) {
+            Line *s = &lines[set * config.ways];
+            for (std::uint64_t m = mask; m; m &= m - 1) {
+                Line &l = s[std::countr_zero(m)];
+                if (l.tag == tag) {
+                    if (l.dirty)
+                        r.writebackBytes += cacheLineSize;
+                    dropLine(l);
+                    break;
+                }
+            }
+        }
+        if (++set == sets)
+            set = 0;
+    }
+    return r;
 }
 
 bool
@@ -189,15 +412,14 @@ CacheModel::flushLine(Addr pa)
 void
 CacheModel::flushRange(Addr addr, std::uint64_t size)
 {
-    Addr end = lineAlignUp(addr + size);
-    for (Addr a = lineAlignDown(addr); a < end; a += cacheLineSize)
-        invalidate(a);
+    evictSpan(addr, size);
 }
 
 void
 CacheModel::invalidateAll()
 {
-    // Epoch bump: every line's epoch goes stale in O(1).
+    // Epoch bump: every line's epoch — and every set's presence
+    // mask — goes stale in O(1).
     ++flushEpoch;
     validLines = 0;
     ownerLines.clear();
@@ -220,6 +442,7 @@ void
 CacheModel::restoreState(const State &st)
 {
     std::fill(lines.begin(), lines.end(), Line{});
+    std::fill(setMeta.begin(), setMeta.end(), SetMeta{});
     ownerLines.clear();
     flushEpoch = 0;
     useClock = st.useClock;
@@ -232,6 +455,8 @@ CacheModel::restoreState(const State &st)
         Line &l = lines[idx];
         l = saved;
         l.epoch = flushEpoch;
+        setMeta[idx / config.ways].mask |=
+            1ull << (idx % config.ways);
         ++ownerLines[l.owner];
     }
 }

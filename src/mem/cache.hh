@@ -13,6 +13,17 @@
  * first `ddioWays` ways of each set, and device reads never allocate.
  * This single rule produces both the cache-pollution immunity
  * (Fig. 12/13) and the "leaky DMA" throughput cliff (Fig. 10).
+ *
+ * Device-side streaming traffic uses the span API (probeSpan /
+ * fillSpan / evictSpan / flushSpan): one call covers every line a
+ * physically contiguous run touches and returns aggregate byte
+ * counts, so the engine timing walk charges per chunk instead of per
+ * line. The batched implementation is tick-equivalent by
+ * construction to the line-at-a-time scalar ops — it walks the same
+ * lines in the same (ascending-address) order, makes the identical
+ * victim choice per set, and assigns the same LRU clock values — and
+ * the scalar loop stays alive behind `DSASIM_CACHE_ACCT=line` as the
+ * oracle a differential harness checks it against (DESIGN.md §13).
  */
 
 #ifndef DSASIM_MEM_CACHE_HH
@@ -54,11 +65,40 @@ class CacheModel
         Addr evictedPa = 0;
     };
 
+    /**
+     * Aggregate outcome of a span operation over the lines covering
+     * [pa, pa+size) — exactly the sums the engine walk used to
+     * accumulate line by line.
+     */
+    struct SpanResult
+    {
+        std::uint64_t hitBytes = 0;
+        std::uint64_t missBytes = 0;
+        /** Dirty-victim (fillSpan) or dirty-flushed (flushSpan)
+         *  bytes owed to memory. */
+        std::uint64_t writebackBytes = 0;
+        /** PA of the last dirty victim (fillSpan, writebackBytes>0):
+         *  the node the engine charges the aggregate writeback to. */
+        Addr lastEvictedPa = 0;
+    };
+
+    /**
+     * Accounting implementation. Batched is the default; Line keeps
+     * the original line-at-a-time loops as the equivalence oracle.
+     * Selected at construction from `DSASIM_CACHE_ACCT`
+     * (unset/"batched" -> Batched, "line" -> Line) and overridable
+     * per instance for differential tests.
+     */
+    enum class AcctMode { Batched, Line };
+
     explicit CacheModel(const Config &cfg);
 
     unsigned numWays() const { return config.ways; }
     unsigned numSets() const { return sets; }
     std::uint64_t sizeBytes() const { return config.sizeBytes; }
+
+    AcctMode acctMode() const { return mode; }
+    void setAcctMode(AcctMode m) { mode = m; }
 
     /**
      * CPU load/store. Allocates on miss (any way). @p owner feeds the
@@ -75,6 +115,29 @@ class CacheModel
      * is invalidated and the write targets memory.
      */
     AccessResult deviceWrite(Addr pa, int owner, bool alloc_hint);
+
+    /// @name Span operations (device-side streaming, DESIGN.md §13).
+    /// Each covers every line overlapping [pa, pa+size) in ascending
+    /// address order and is state-identical to the matching scalar
+    /// op applied per line.
+    /// @{
+
+    /** Device read classification: deviceRead() per line. */
+    SpanResult probeSpan(Addr pa, std::uint64_t size);
+
+    /** DDIO allocating write: deviceWrite(alloc_hint=true) per line. */
+    SpanResult fillSpan(Addr pa, std::uint64_t size, int owner);
+
+    /**
+     * Non-allocating device write: invalidates any present copies
+     * (deviceWrite(alloc_hint=false) per line). Dropped dirty copies
+     * are not reported — the device write itself updates memory.
+     */
+    SpanResult evictSpan(Addr pa, std::uint64_t size);
+
+    /** clflush: flushLine() per line, dirty bytes in writebackBytes. */
+    SpanResult flushSpan(Addr pa, std::uint64_t size);
+    /// @}
 
     /** True if the line holding @p pa is present (no state change). */
     bool probe(Addr pa) const;
@@ -149,6 +212,21 @@ class CacheModel
 
   private:
 
+    /**
+     * Per-set presence bitmask (bit w <=> lineValid(set line w)),
+     * versioned by the same flush epoch as the lines so
+     * invalidateAll() stays O(1). A stale-epoch mask means the set
+     * holds no valid lines (any install refreshes the mask first),
+     * so normalization just zeroes it. The masks let the span walk
+     * visit only the occupied ways of a set — and skip empty sets
+     * with one load — instead of scanning all ways per line.
+     */
+    struct SetMeta
+    {
+        std::uint64_t mask = 0;
+        std::uint64_t epoch = 0;
+    };
+
     /** Valid under the current flush epoch (invalidateAll is O(1)). */
     bool
     lineValid(const Line &l) const
@@ -156,20 +234,39 @@ class CacheModel
         return l.valid && l.epoch == flushEpoch;
     }
 
+    /** The set's presence mask, normalized to the current epoch. */
+    std::uint64_t &
+    maskFor(std::size_t set)
+    {
+        SetMeta &m = setMeta[set];
+        if (m.epoch != flushEpoch) {
+            m.mask = 0;
+            m.epoch = flushEpoch;
+        }
+        return m.mask;
+    }
+
     Line *find(Addr pa);
     const Line *findConst(Addr pa) const;
     /** Pick the LRU way in [way_lo, way_hi) of the set holding pa. */
     Line &victim(Addr pa, unsigned way_lo, unsigned way_hi);
+    /** Same choice as victim(), given the set base and its mask. */
+    Line &victimInSet(Line *set, std::uint64_t mask, unsigned way_lo,
+                      unsigned way_hi);
     void installLine(Line &line, Addr pa, int owner, bool dirty,
                      AccessResult &result);
     void dropLine(Line &line);
+    /** Move a hit line's occupancy to its most recent toucher. */
+    void retagOwner(Line &l, int owner);
 
     std::uint64_t setIndex(Addr pa) const { return (pa >> 6) % sets; }
     std::uint64_t tagOf(Addr pa) const { return pa >> 6; }
 
     Config config;
     unsigned sets;
+    AcctMode mode;
     std::vector<Line> lines; // sets * ways, row-major by set
+    std::vector<SetMeta> setMeta;
     std::unordered_map<int, std::uint64_t> ownerLines;
     std::uint64_t validLines = 0;
     std::uint64_t useClock = 0;

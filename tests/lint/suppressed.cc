@@ -24,6 +24,10 @@ everything(char *dst, const char *src)
     for (const auto &kv : m)
         total += kv.second;
     strcpy(dst, src); // simlint:allow(banned-fn)
+    const long cacheLineSize = 64;
+    for (long a = 0; a < t;
+         a += cacheLineSize) // simlint:allow(acct-loop)
+        total += a;
     total += t + e + *p + counter.load();
     delete p; // simlint:allow(raw-alloc)
     return total + static_cast<long>(gate);

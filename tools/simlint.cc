@@ -88,7 +88,8 @@ struct Diagnostic
     int col = 0;
     std::string rule;
     std::string message;
-    std::string note; ///< optional fix suggestion
+    std::string note;      ///< optional fix suggestion
+    bool advisory = false; ///< note-level: printed, never fails
 };
 
 struct Token
@@ -469,6 +470,14 @@ class Linter
         }
         if (lp.find("sim/traffic") != std::string::npos)
             checkTenantRng(f);
+        // Advisory only: mem/cache.* is the sanctioned home of
+        // line-granular walks (it implements the span API and keeps
+        // the line-mode oracle); anywhere else in src/ a new
+        // `+= cacheLineSize` loop is probably re-growing an O(lines)
+        // walk the batched span API replaced (DESIGN.md §13).
+        if (lp.find("src/") != std::string::npos &&
+            lp.find("mem/cache.") == std::string::npos)
+            checkAcctLoop(f);
         checkBannedFn(f);
         checkVolatile(f);
         if (isHeader(lp))
@@ -481,14 +490,14 @@ class Linter
     void
     report(const ScannedFile &f, int line, int col,
            const std::string &rule, const std::string &msg,
-           const std::string &note = "")
+           const std::string &note = "", bool advisory = false)
     {
         if (f.allow.allows(line, rule)) {
             ++suppressed;
             return;
         }
         diags.push_back(
-            Diagnostic{f.path, line, col, rule, msg, note});
+            Diagnostic{f.path, line, col, rule, msg, note, advisory});
     }
 
     /// @name Token-stream helpers.
@@ -766,6 +775,44 @@ class Linter
     }
 
     void
+    checkAcctLoop(ScannedFile &f)
+    {
+        // `for (...; ...; a += cacheLineSize)` headers outside
+        // mem/cache.*: almost always a per-line cache-accounting
+        // walk that the batched span API made O(sets-touched).
+        // Note-level — legitimate uses exist (per-victim occupy()
+        // rounding) and carry a simlint:allow(acct-loop).
+        for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+            if (!(f.tokens[i].text == "for" && f.tokens[i].isIdent &&
+                  nextIs(f, i, "(")))
+                continue;
+            int depth = 0;
+            for (std::size_t j = i + 1; j < f.tokens.size(); ++j) {
+                if (f.tokens[j].text == "(") {
+                    ++depth;
+                } else if (f.tokens[j].text == ")") {
+                    if (--depth == 0)
+                        break;
+                } else if (depth >= 1 && f.tokens[j].text == "+" &&
+                           nextIs(f, j, "=") &&
+                           j + 2 < f.tokens.size() &&
+                           f.tokens[j + 2].text == "cacheLineSize") {
+                    const Token &t = f.tokens[j];
+                    report(f, t.line, t.col, "acct-loop",
+                           "per-line '+= cacheLineSize' loop outside "
+                           "mem/cache.*",
+                           "batch through the CacheModel span API "
+                           "(probeSpan/fillSpan/evictSpan/flushSpan, "
+                           "DESIGN.md §13); if per-call occupy() "
+                           "rounding truly needs line granularity, "
+                           "suppress with // simlint:allow(acct-loop)",
+                           /*advisory=*/true);
+                }
+            }
+        }
+    }
+
+    void
     checkBannedFn(ScannedFile &f)
     {
         static const std::map<std::string, std::string> banned = {
@@ -942,6 +989,8 @@ const char *kRuleHelp =
     "  banned-fn        strcpy/strcat/sprintf/vsprintf/gets "
     "anywhere\n"
     "  volatile-sync    'volatile' used anywhere\n"
+    "  acct-loop        (note-level) '+= cacheLineSize' for-loops "
+    "outside mem/cache.*\n"
     "  include-hygiene  DSASIM_<PATH>_HH guards; no \"../\" "
     "includes\n"
     "suppress with: // simlint:allow(rule[,rule...])\n";
@@ -1038,19 +1087,24 @@ main(int argc, char **argv)
                              return a.line < b.line;
                          return a.col < b.col;
                      });
+    std::size_t errors = 0;
     for (const auto &d : linter.diags) {
-        std::printf("%s:%d:%d: error: [%s] %s\n", d.path.c_str(),
-                    d.line, d.col, d.rule.c_str(), d.message.c_str());
+        if (!d.advisory)
+            ++errors;
+        std::printf("%s:%d:%d: %s: [%s] %s\n", d.path.c_str(),
+                    d.line, d.col, d.advisory ? "note" : "error",
+                    d.rule.c_str(), d.message.c_str());
         if (!d.note.empty())
             std::printf("    note: %s\n", d.note.c_str());
     }
+    const std::size_t advisories = linter.diags.size() - errors;
     if (!linter.diags.empty() || linter.suppressed > 0 ||
         linter.fixesApplied > 0) {
         std::fprintf(stderr,
-                     "simlint: %zu error(s), %zu suppressed, %zu "
-                     "fixed, %zu file(s)\n",
-                     linter.diags.size(), linter.suppressed,
+                     "simlint: %zu error(s), %zu note(s), %zu "
+                     "suppressed, %zu fixed, %zu file(s)\n",
+                     errors, advisories, linter.suppressed,
                      linter.fixesApplied, files.size());
     }
-    return linter.diags.empty() ? 0 : 1;
+    return errors == 0 ? 0 : 1;
 }
