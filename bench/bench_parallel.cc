@@ -145,7 +145,7 @@ runAt(unsigned threads, const Params &p)
             dml::ExecutorConfig ec;
             ec.path = dml::Path::Hardware;
             execs.push_back(std::make_unique<dml::Executor>(
-                cl.sim(s), plat.mem(), plat.kernels(),
+                cl.domainSim(s), plat.mem(), plat.kernels(),
                 std::vector<DsaDevice *>{&plat.dsa(0)}, ec));
             dml::Executor *e = execs.back().get();
             AddressSpace &as = plat.mem().createSpace();
@@ -159,7 +159,7 @@ runAt(unsigned threads, const Params &p)
                     src + static_cast<Addr>(i) * p.descSize,
                     p.descSize));
             }
-            socketLoad(cl.sim(s), plat, *e, std::move(ring),
+            socketLoad(cl.domainSim(s), plat, *e, std::move(ring),
                        p.descriptors, p.depth);
             remoteLoad(cl.port(s, (s + 1) % cl.socketCount()),
                        p.blockBytes, p.blocks);

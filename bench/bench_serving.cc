@@ -174,9 +174,9 @@ runArm(const Params &p, bool qos, unsigned threads)
         dml::ExecutorConfig ec;
         ec.path = dml::Path::Hardware;
         rig.exec = std::make_unique<dml::Executor>(
-            cl.sim(s), plat.mem(), plat.kernels(),
+            cl.domainSim(s), plat.mem(), plat.kernels(),
             std::vector<DsaDevice *>{&plat.dsa(0)}, ec);
-        rig.node = std::make_unique<dml::ServingNode>(cl.sim(s),
+        rig.node = std::make_unique<dml::ServingNode>(cl.domainSim(s),
                                                       *rig.exec, sc);
         if (qos) {
             // Admission on the bulk portal only: every tenant routed
@@ -197,7 +197,7 @@ runArm(const Params &p, bool qos, unsigned threads)
             (p.tenants - s + cl.socketCount() - 1) /
             cl.socketCount();
         rigs[s].done = std::make_unique<Latch>(
-            cl.sim(s), onSocket * p.requests);
+            cl.domainSim(s), onSocket * p.requests);
     }
 
     for (unsigned t = 0; t < p.tenants; ++t) {
@@ -241,7 +241,7 @@ runArm(const Params &p, bool qos, unsigned threads)
     }
 
     for (unsigned s = 0; s < cl.socketCount(); ++s) {
-        digestLoad(cl.sim(s),
+        digestLoad(cl.domainSim(s),
                    cl.port(s, (s + 1) % cl.socketCount()), 48);
     }
 

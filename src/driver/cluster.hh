@@ -79,7 +79,7 @@ class SocketCluster
     }
     const ClusterConfig &cfg() const { return config; }
 
-    Simulation &sim(unsigned s) { return *doms.at(s).sim; }
+    Simulation &domainSim(unsigned s) { return *doms.at(s).sim; }
     Platform &plat(unsigned s) { return *doms.at(s).plat; }
 
     /** The src->dst UPI port; fatal if the pair is not linked. */

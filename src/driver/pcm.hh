@@ -56,13 +56,15 @@ class Monitor
     explicit Monitor(Platform &p) : platform(p) {}
 
     /** Snapshot one device's counters. */
+    // simlint:observer
     DsaCounters
     sample(std::size_t device_idx) const
     {
-        DsaDevice &dev = platform.dsa(device_idx);
+        const Platform &plat = platform;
+        const DsaDevice &dev = plat.dsa(device_idx);
         DsaCounters c;
         c.deviceId = dev.deviceId();
-        c.when = platform.sim().now();
+        c.when = plat.sim().now();
         c.descriptorsSubmitted = dev.descriptorsSubmitted;
         c.descriptorsRetried = dev.descriptorsRetried;
         c.descriptorsProcessed = dev.descriptorsProcessed();
@@ -77,6 +79,7 @@ class Monitor
     }
 
     /** Snapshot every device. */
+    // simlint:observer
     std::vector<DsaCounters>
     sampleAll() const
     {
@@ -87,6 +90,7 @@ class Monitor
     }
 
     /** Render an interval delta like a `pcm-accel` line. */
+    // simlint:observer
     static std::string
     format(const DsaCounters &delta, Tick interval)
     {

@@ -67,6 +67,7 @@ class Platform
     Platform(Simulation &s, const PlatformConfig &cfg);
 
     Simulation &sim() { return simulation; }
+    const Simulation &sim() const { return simulation; }
     const PlatformConfig &cfg() const { return config; }
 
     MemSystem &mem() { return *memSys; }
@@ -76,6 +77,7 @@ class Platform
     std::size_t coreCount() const { return cores_.size(); }
 
     DsaDevice &dsa(std::size_t i) { return *dsas_.at(i); }
+    const DsaDevice &dsa(std::size_t i) const { return *dsas_.at(i); }
     std::size_t dsaCount() const { return dsas_.size(); }
 
     /**

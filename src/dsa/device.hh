@@ -35,6 +35,7 @@ class DsaDevice
               int device_id, int socket_id = 0);
 
     Simulation &sim() { return simulation; }
+    const Simulation &sim() const { return simulation; }
     MemSystem &mem() { return memSys; }
     const DsaParams &params() const { return cfg; }
     int deviceId() const { return id; }

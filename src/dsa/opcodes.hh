@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "sim/fault_injector.hh"
+
 namespace dsasim
 {
 
@@ -75,6 +77,19 @@ opcodeReadOnly(Opcode op)
         return false;
     }
 }
+
+/**
+ * Static-init registration of the opcode-name table with the
+ * sim-layer fault injector (layer-hygiene keeps sim/ from including
+ * dsa/, so the dependency points upward through this hook). Runs
+ * before main() in every binary that links the device model.
+ */
+inline const bool faultOpcodeNamesRegistered = [] {
+    setFaultOpcodeNames(
+        +[](int op) { return opcodeName(static_cast<Opcode>(op)); },
+        static_cast<int>(Opcode::CacheFlush) + 1);
+    return true;
+}();
 
 } // namespace dsasim
 

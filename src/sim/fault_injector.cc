@@ -3,7 +3,6 @@
 #include <cstdlib>
 #include <sstream>
 
-#include "dsa/opcodes.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -21,6 +20,35 @@ faultSiteName(FaultSite site)
       case FaultSite::PageFault: return "page-fault";
     }
     return "?";
+}
+
+namespace
+{
+
+const char *(*opcodeNameTable)(int) = nullptr;
+int opcodeNameTableCount = 0;
+
+} // namespace
+
+void
+setFaultOpcodeNames(const char *(*name)(int), int count)
+{
+    opcodeNameTable = name;
+    opcodeNameTableCount = count;
+}
+
+const char *
+faultOpcodeName(int op)
+{
+    if (!opcodeNameTable || op < 0 || op >= opcodeNameTableCount)
+        return nullptr;
+    return opcodeNameTable(op);
+}
+
+int
+faultOpcodeCount()
+{
+    return opcodeNameTableCount;
 }
 
 FaultRule &
@@ -97,8 +125,13 @@ FaultInjector::summary() const
             os << " every=" << r.everyNth;
         else if (r.hasAtTick)
             os << " at=" << r.atTick;
-        if (r.opcode >= 0)
-            os << " op=" << opcodeName(static_cast<Opcode>(r.opcode));
+        if (r.opcode >= 0) {
+            const char *name = faultOpcodeName(r.opcode);
+            if (name)
+                os << " op=" << name;
+            else
+                os << " op=" << r.opcode;
+        }
         if (r.device >= 0)
             os << " device=" << r.device;
         if (r.wq >= 0)
@@ -131,8 +164,11 @@ parseSite(const std::string &s)
 int
 parseOpcode(const std::string &s)
 {
-    for (int op = 0; op <= static_cast<int>(Opcode::CacheFlush); ++op) {
-        if (s == opcodeName(static_cast<Opcode>(op)))
+    fatal_if(faultOpcodeCount() == 0,
+             "op= in fault spec but no opcode-name table registered "
+             "(setFaultOpcodeNames)");
+    for (int op = 0; op < faultOpcodeCount(); ++op) {
+        if (s == faultOpcodeName(op))
             return op;
     }
     fatal("unknown opcode '%s' in fault spec", s.c_str());

@@ -61,6 +61,16 @@ enum class FaultSite : std::uint8_t
 
 const char *faultSiteName(FaultSite site);
 
+/**
+ * Opcode-name table for the op= spec key. The sim layer cannot see
+ * the device layers (layer-hygiene: sim < dsa), so the layer that
+ * owns the opcode enum registers its name table at static-init time
+ * (dsa/opcodes.hh) and the injector resolves names through it.
+ */
+void setFaultOpcodeNames(const char *(*name)(int), int count);
+const char *faultOpcodeName(int op); ///< nullptr if unregistered
+int faultOpcodeCount();
+
 /** Payload of a CompletionError rule. */
 enum class HwErrorKind : std::uint8_t
 {
@@ -149,7 +159,7 @@ class FaultInjector
     std::uint64_t firesAt(FaultSite site) const;
 
     /** One line per rule: site, trigger, scope, matches/fires. */
-    std::string summary() const;
+    std::string summary() const; // simlint:observer
     /// @}
 
     /**

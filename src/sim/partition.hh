@@ -216,12 +216,12 @@ class PartitionSet
      * hashes in domain-id order. Identical for any worker-thread
      * count by the determinism contract above.
      */
-    std::uint64_t combinedStreamHash() const;
+    std::uint64_t combinedStreamHash() const; // simlint:observer
 
-    std::uint64_t eventsExecuted() const;
+    std::uint64_t eventsExecuted() const; // simlint:observer
 
     /** Latest domain clock (the scenario's end time). */
-    Tick maxNow() const;
+    Tick maxNow() const; // simlint:observer
 
     /** Barrier epochs executed by the last run() (telemetry). */
     std::uint64_t epochsRun() const { return epochs; }

@@ -138,7 +138,7 @@ class Simulation
     void enableStreamHash(bool on) { hashEnabled = on; }
 
     /** Current event-stream fingerprint (see enableStreamHash). */
-    std::uint64_t streamHash() const { return hashState; }
+    std::uint64_t streamHash() const { return hashState; } // simlint:observer
 
     /** True if no events are pending. */
     bool idle() const { return pendingCount == 0; }

@@ -1,0 +1,64 @@
+# Driver for the simlint lint-cache test: copies the cross-TU
+# fixture into the build tree, lints it three times with --cache —
+# cold (store), warm (hit, byte-identical replay), and after a
+# content change (store again).
+#
+#   cmake -DSIMLINT=... -DFIXTURE_DIR=... -DWORK_DIR=...
+#         -P check_cache.cmake
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+file(COPY ${FIXTURE_DIR}/xtu DESTINATION ${WORK_DIR})
+set(cache ${WORK_DIR}/lint.cache)
+
+execute_process(
+    COMMAND ${SIMLINT} --root=xtu --cache=${cache} xtu
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_VARIABLE cold_out
+    ERROR_VARIABLE cold_err
+    RESULT_VARIABLE cold_status)
+
+if(NOT cold_status EQUAL 1)
+    message(FATAL_ERROR "cold run: exit ${cold_status}, expected 1")
+endif()
+if(NOT cold_err MATCHES "cache store")
+    message(FATAL_ERROR "cold run did not store:\n${cold_err}")
+endif()
+
+execute_process(
+    COMMAND ${SIMLINT} --root=xtu --cache=${cache} xtu
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_VARIABLE warm_out
+    ERROR_VARIABLE warm_err
+    RESULT_VARIABLE warm_status)
+
+if(NOT warm_status EQUAL 1)
+    message(FATAL_ERROR "warm run: exit ${warm_status}, expected 1")
+endif()
+if(NOT warm_err MATCHES "cache hit")
+    message(FATAL_ERROR "warm run missed the cache:\n${warm_err}")
+endif()
+if(NOT warm_out STREQUAL cold_out)
+    message(FATAL_ERROR "cache replay differs from the cold run\n"
+        "--- cold ---\n${cold_out}\n--- warm ---\n${warm_out}")
+endif()
+
+# Any content change invalidates the whole-tree key.
+file(APPEND ${WORK_DIR}/xtu/src/mem/page_table.hh
+     "// cache-buster\n")
+
+execute_process(
+    COMMAND ${SIMLINT} --root=xtu --cache=${cache} xtu
+    WORKING_DIRECTORY ${WORK_DIR}
+    ERROR_VARIABLE busted_err
+    OUTPUT_QUIET
+    RESULT_VARIABLE busted_status)
+
+if(NOT busted_status EQUAL 1)
+    message(FATAL_ERROR
+        "post-edit run: exit ${busted_status}, expected 1")
+endif()
+if(NOT busted_err MATCHES "cache store")
+    message(FATAL_ERROR
+        "edit did not invalidate the cache:\n${busted_err}")
+endif()

@@ -4,10 +4,16 @@
 # status matches WANT_EXIT.
 #
 #   cmake -DSIMLINT=... -DFIXTURE_DIR=... -DINPUT=... -DEXPECTED=...
-#         [-DTREAT_AS=...] -DWANT_EXIT=0|1 -P check_case.cmake
+#         [-DTREAT_AS=...] [-DROOT=...] -DWANT_EXIT=0|1|2
+#         -P check_case.cmake
+#
+# ROOT mode (cross-TU fixtures): INPUT is a directory; --root strips
+# the prefix so fixture files lint under their logical src/ paths.
 
 if(TREAT_AS)
     set(extra_args "--treat-as=${TREAT_AS}")
+elseif(ROOT)
+    set(extra_args "--root=${ROOT}")
 else()
     set(extra_args "")
 endif()

@@ -38,3 +38,30 @@ if(NOT got MATCHES "parent-relative")
         "expected the non-mechanical ../ diagnostic to remain:\n"
         "${got}")
 endif()
+
+# The cross-TU rule families have no mechanical rewrite: --fix must
+# leave the file byte-identical and keep reporting.
+configure_file(${FIXTURE_DIR}/domain_escape.cc
+               ${WORK_DIR}/domain_escape.cc COPYONLY)
+file(READ ${WORK_DIR}/domain_escape.cc before)
+
+execute_process(
+    COMMAND ${SIMLINT} --fix --treat-as=src/dsa/domain_escape.cc
+            domain_escape.cc
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_VARIABLE got
+    RESULT_VARIABLE status)
+
+file(READ ${WORK_DIR}/domain_escape.cc after)
+if(NOT before STREQUAL after)
+    message(FATAL_ERROR
+        "--fix rewrote a domain-escape fixture:\n${after}")
+endif()
+if(NOT status EQUAL 1)
+    message(FATAL_ERROR
+        "--fix on domain-escape: exit ${status}, expected 1")
+endif()
+if(NOT got MATCHES "domain-escape")
+    message(FATAL_ERROR
+        "domain-escape diagnostics vanished under --fix:\n${got}")
+endif()

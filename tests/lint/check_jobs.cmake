@@ -1,0 +1,27 @@
+# Driver for the simlint --jobs test: parallel scanning must be a
+# pure speedup — diagnostics, order and exit status identical for
+# any worker count.
+#
+#   cmake -DSIMLINT=... -DFIXTURE_DIR=... -P check_jobs.cmake
+
+execute_process(
+    COMMAND ${SIMLINT} --root=xtu --jobs=1 xtu
+    WORKING_DIRECTORY ${FIXTURE_DIR}
+    OUTPUT_VARIABLE serial_out
+    RESULT_VARIABLE serial_status)
+
+execute_process(
+    COMMAND ${SIMLINT} --root=xtu --jobs=4 xtu
+    WORKING_DIRECTORY ${FIXTURE_DIR}
+    OUTPUT_VARIABLE parallel_out
+    RESULT_VARIABLE parallel_status)
+
+if(NOT serial_status EQUAL parallel_status)
+    message(FATAL_ERROR "--jobs changed the exit status: "
+        "${serial_status} vs ${parallel_status}")
+endif()
+if(NOT serial_out STREQUAL parallel_out)
+    message(FATAL_ERROR "--jobs changed the diagnostics\n"
+        "--- jobs=1 ---\n${serial_out}\n"
+        "--- jobs=4 ---\n${parallel_out}")
+endif()

@@ -1,0 +1,63 @@
+# Driver for the simlint --sarif test: lints the cross-TU fixture
+# directory with --sarif and validates the emitted JSON — SARIF
+# 2.1.0 envelope, driver name, and one result per text diagnostic
+# (the xtu fixture produces 6).
+#
+#   cmake -DSIMLINT=... -DFIXTURE_DIR=... -DWORK_DIR=...
+#         -P check_sarif.cmake
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(sarif ${WORK_DIR}/out.sarif)
+
+execute_process(
+    COMMAND ${SIMLINT} --root=xtu --sarif=${sarif} xtu
+    WORKING_DIRECTORY ${FIXTURE_DIR}
+    OUTPUT_VARIABLE got
+    RESULT_VARIABLE status)
+
+if(NOT status EQUAL 1)
+    message(FATAL_ERROR "expected exit 1 with findings, got "
+                        "${status}")
+endif()
+
+file(READ ${sarif} doc)
+
+string(JSON version GET "${doc}" version)
+if(NOT version STREQUAL "2.1.0")
+    message(FATAL_ERROR "SARIF version ${version}, expected 2.1.0")
+endif()
+
+string(JSON driver GET "${doc}" runs 0 tool driver name)
+if(NOT driver STREQUAL "simlint")
+    message(FATAL_ERROR "driver name ${driver}, expected simlint")
+endif()
+
+string(JSON nresults LENGTH "${doc}" runs 0 results)
+if(NOT nresults EQUAL 6)
+    message(FATAL_ERROR "${nresults} SARIF results, expected 6")
+endif()
+
+# Every result carries a ruleId, a message and a physical location.
+math(EXPR last "${nresults} - 1")
+foreach(i RANGE ${last})
+    string(JSON rid GET "${doc}" runs 0 results ${i} ruleId)
+    if(rid STREQUAL "")
+        message(FATAL_ERROR "result ${i} has an empty ruleId")
+    endif()
+    string(JSON msg GET "${doc}" runs 0 results ${i} message text)
+    if(msg STREQUAL "")
+        message(FATAL_ERROR "result ${i} has an empty message")
+    endif()
+    string(JSON uri GET "${doc}" runs 0 results ${i} locations 0
+           physicalLocation artifactLocation uri)
+    if(uri STREQUAL "")
+        message(FATAL_ERROR "result ${i} has an empty location uri")
+    endif()
+endforeach()
+
+# The four v2 rule families all appear in the result set.
+foreach(rule observer-purity domain-escape seed-flow layer-hygiene)
+    if(NOT doc MATCHES "\"ruleId\": \"${rule}\"")
+        message(FATAL_ERROR "rule ${rule} missing from SARIF output")
+    endif()
+endforeach()

@@ -1,0 +1,31 @@
+// Fixture: domain-escape — handles to another domain's Simulation
+// may be used inline but not stored outside the partition boundary
+// (sim/partition.*, mem/remote_port.*, driver/cluster.*). Linted as
+// if at src/dsa/domain_escape.cc.
+
+namespace dsasim
+{
+
+class Simulation;
+
+class Cluster
+{
+  public:
+    Simulation &domainSim(unsigned s);
+};
+
+class Bridge
+{
+  public:
+    void
+    attach(Cluster &cl)
+    {
+        // Binding a peer domain's calendar through a pointer.
+        peer = &cl.domainSim(1);
+    }
+
+  private:
+    Simulation *peer = nullptr; // cross-domain field off-boundary
+};
+
+} // namespace dsasim

@@ -1,0 +1,17 @@
+// Fixture: layer-hygiene — the event kernel (sim/) sits below every
+// model layer and must not include upward (driver/, dml/, ...).
+// Linted as if at src/sim/layer_hygiene.cc.
+
+#include "driver/platform.hh"
+#include "dml/serving.hh"
+
+namespace dsasim
+{
+
+int
+touchUpperLayers()
+{
+    return 0;
+}
+
+} // namespace dsasim

@@ -1,0 +1,19 @@
+// Fixture: layer-hygiene (facade arm) — mem/ internals (cache,
+// page_table, phys_mem, iommu) stay behind the mem_system /
+// address_space facades outside src/mem. Linted as if at
+// src/dsa/mem_facade.cc.
+
+#include "mem/cache.hh"
+#include "mem/page_table.hh"
+#include "mem/mem_system.hh" // facade: fine
+
+namespace dsasim
+{
+
+int
+touchMemInternals()
+{
+    return 0;
+}
+
+} // namespace dsasim

@@ -1,0 +1,43 @@
+// Fixture: observer-purity — code reachable from a declared
+// `// simlint:observer` surface must stay read-only: no non-const
+// member calls on simulated components, no const_cast, no writes to
+// namespace-scope state. Linted as if at src/sim/observer_purity.cc.
+
+namespace dsasim
+{
+
+long totalSampled = 0;
+
+class Device
+{
+  public:
+    void bump() { ++ticks; } // non-const, no const overload
+    long ticks = 0;
+};
+
+class Probe
+{
+  public:
+    // simlint:observer
+    long
+    sample()
+    {
+        dev.bump();                    // non-const member call
+        totalSampled = totalSampled + 1; // namespace-scope write
+        return helper();
+    }
+
+  private:
+    long
+    helper()
+    {
+        // const_cast two hops down the observer call graph.
+        long *p = const_cast<long *>(&frozen);
+        return *p + dev.ticks;
+    }
+
+    Device dev;
+    const long frozen = 0;
+};
+
+} // namespace dsasim

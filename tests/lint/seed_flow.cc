@@ -1,0 +1,38 @@
+// Fixture: seed-flow — stateful Rng must not be reachable from an
+// open-loop traffic entry (`// simlint:traffic-entry`): arrival-
+// driven paths stay counter-based so variates are independent of
+// event interleaving. Linted as if at src/dml/seed_flow.cc.
+
+namespace dsasim
+{
+
+class Rng
+{
+  public:
+    explicit Rng(unsigned long seed);
+    double uniform();
+};
+
+class LoadGenerator
+{
+  public:
+    // simlint:traffic-entry
+    void
+    onArrival(unsigned long k)
+    {
+        jitter(k);
+    }
+
+  private:
+    void
+    jitter(unsigned long k)
+    {
+        // Stateful draw two hops from the arrival path.
+        Rng r(k);
+        scale = r.uniform();
+    }
+
+    double scale = 0.0;
+};
+
+} // namespace dsasim

@@ -7,6 +7,11 @@
 #include <ctime>
 #include <unordered_map>
 
+// simlint:allow(layer-hygiene)
+#include "driver/platform.hh"
+// simlint:allow(layer-hygiene)
+#include "mem/cache.hh"
+
 // simlint:allow(volatile-sync)
 volatile bool gate = false;
 // simlint:allow(cross-domain)
@@ -32,3 +37,53 @@ everything(char *dst, const char *src)
     delete p; // simlint:allow(raw-alloc)
     return total + static_cast<long>(gate);
 }
+
+class Simulation;
+
+class Cluster
+{
+  public:
+    Simulation &domainSim(unsigned s);
+};
+
+class Gadget
+{
+  public:
+    void poke() { ++n; } // non-const, no const overload
+    long n = 0;
+};
+
+class CrossRules
+{
+  public:
+    void
+    attach(Cluster &cl)
+    {
+        peer = &cl.domainSim(0); // simlint:allow(domain-escape)
+    }
+
+    // simlint:observer
+    long
+    sample()
+    {
+        dev.poke(); // simlint:allow(observer-purity)
+        return dev.n;
+    }
+
+    // simlint:traffic-entry
+    void
+    onArrival(unsigned long k)
+    {
+        Rng r{k}; // simlint:allow(seed-flow)
+        (void)r;
+    }
+
+  private:
+    struct Rng
+    {
+        unsigned long s;
+    };
+    // simlint:allow(domain-escape)
+    Simulation *peer = nullptr;
+    Gadget dev;
+};

@@ -1,0 +1,17 @@
+// Cross-TU fixture: the arrival path crosses three TUs before it
+// touches a stateful Rng (gen.hh decl -> gen.cc body -> stats.cc).
+
+#include "dml/gen.hh"
+
+#include "sim/stats.hh"
+
+namespace dsasim
+{
+
+void
+OpenLoop::onArrival(unsigned long k)
+{
+    hub->mix(k);
+}
+
+} // namespace dsasim

@@ -1,0 +1,24 @@
+// Cross-TU fixture: the open-loop traffic entry is declared here;
+// its body (gen.cc) reaches the stateful Rng in sim/stats.cc.
+
+#ifndef DSASIM_DML_GEN_HH
+#define DSASIM_DML_GEN_HH
+
+namespace dsasim
+{
+
+class StatsHub;
+
+class OpenLoop
+{
+  public:
+    // simlint:traffic-entry
+    void onArrival(unsigned long k);
+
+  private:
+    StatsHub *hub = nullptr;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DML_GEN_HH

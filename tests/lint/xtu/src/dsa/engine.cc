@@ -1,0 +1,25 @@
+// Cross-TU fixture: stores the result of the marked accessor from
+// widget.hh (domain-escape, both arms) and reaches through the mem/
+// facade (layer-hygiene).
+
+#include "dsa/widget.hh"
+
+#include "mem/page_table.hh"
+
+namespace dsasim
+{
+
+class EngineCtl
+{
+  public:
+    void
+    bind(Registry &reg)
+    {
+        cal = &reg.lookup(1); // stored marked-accessor result
+    }
+
+  private:
+    Simulation *cal = nullptr; // cross-domain field off-boundary
+};
+
+} // namespace dsasim

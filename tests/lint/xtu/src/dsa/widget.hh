@@ -1,0 +1,34 @@
+// Cross-TU fixture: defines the non-const method the sim-layer
+// observer calls, and a marked cross-domain accessor whose results
+// other TUs must not store.
+
+#ifndef DSASIM_DSA_WIDGET_HH
+#define DSASIM_DSA_WIDGET_HH
+
+namespace dsasim
+{
+
+class Simulation;
+
+struct Rng
+{
+    unsigned long s;
+};
+
+class Widget
+{
+  public:
+    void tweak() { ++n; } // non-const, no const overload
+    long n = 0;
+};
+
+class Registry
+{
+  public:
+    // simlint:domain-accessor
+    Simulation &lookup(unsigned id);
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_DSA_WIDGET_HH

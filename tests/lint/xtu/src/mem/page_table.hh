@@ -1,0 +1,18 @@
+// Cross-TU fixture: a mem/ internal header — legal to exist, legal
+// to include from inside src/mem, flagged anywhere else.
+
+#ifndef DSASIM_MEM_PAGE_TABLE_HH
+#define DSASIM_MEM_PAGE_TABLE_HH
+
+namespace dsasim
+{
+
+struct PageTableEntry
+{
+    unsigned long pfn = 0;
+    bool present = false;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_MEM_PAGE_TABLE_HH

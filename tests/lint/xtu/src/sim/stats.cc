@@ -1,0 +1,26 @@
+// Cross-TU fixture: the observer body lives here; the non-const
+// method it calls is indexed from dsa/widget.hh (another TU). The
+// dsa/ include is itself a layering violation (sim < dsa).
+
+#include "sim/stats.hh"
+
+#include "dsa/widget.hh"
+
+namespace dsasim
+{
+
+long
+StatsHub::snapshot() const
+{
+    dev->tweak(); // non-const, defined in another TU
+    return 0;
+}
+
+void
+StatsHub::mix(unsigned long k)
+{
+    Rng r{k}; // stateful draw, reached from dml/gen.cc
+    blend = blend + static_cast<double>(r.s + k);
+}
+
+} // namespace dsasim

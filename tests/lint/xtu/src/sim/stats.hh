@@ -1,0 +1,28 @@
+// Cross-TU fixture: observer surface declared here, body in
+// stats.cc, mutated component defined in dsa/widget.hh.
+
+#ifndef DSASIM_SIM_STATS_HH
+#define DSASIM_SIM_STATS_HH
+
+namespace dsasim
+{
+
+class Widget;
+
+class StatsHub
+{
+  public:
+    // simlint:observer
+    long snapshot() const;
+
+    /** Stateful blend helper (called from the open-loop path). */
+    void mix(unsigned long k);
+
+  private:
+    Widget *dev = nullptr;
+    double blend = 0.0;
+};
+
+} // namespace dsasim
+
+#endif // DSASIM_SIM_STATS_HH

@@ -376,7 +376,7 @@ TEST(SocketClusterDeath, CaptureNamesTheUndrainedDomain)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     SocketCluster cl(smallCluster(2));
-    cl.sim(1).scheduleAt(fromUs(5), [] {});
+    cl.domainSim(1).scheduleAt(fromUs(5), [] {});
     EXPECT_DEATH(cl.capture(),
                  "domain 1 \\(socket 1\\).*calendar holds 1");
 }

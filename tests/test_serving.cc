@@ -394,16 +394,16 @@ runServingCluster(unsigned threads)
         dml::ExecutorConfig ec;
         ec.path = dml::Path::Hardware;
         rig.exec = std::make_unique<dml::Executor>(
-            cl.sim(s), p.mem(), p.kernels(),
+            cl.domainSim(s), p.mem(), p.kernels(),
             std::vector<DsaDevice *>{&p.dsa(0)}, ec);
-        rig.node = std::make_unique<dml::ServingNode>(cl.sim(s),
+        rig.node = std::make_unique<dml::ServingNode>(cl.domainSim(s),
                                                       *rig.exec, sc);
         WqAdmission::Config ac;
         ac.bucket = {2000, 4};
         rig.admission = std::make_unique<WqAdmission>(ac);
         p.dsa(0).wq(0).admission = rig.admission.get();
         rig.done = std::make_unique<Latch>(
-            cl.sim(s), (tenants / cl.socketCount()) * requests);
+            cl.domainSim(s), (tenants / cl.socketCount()) * requests);
     }
 
     const ArrivalMix mix = ArrivalMix::parse(

@@ -403,7 +403,7 @@ struct ClusterRig
             ec.path = dml::Path::Hardware;
             ec.watchdogTimeout = fromUs(500);
             execs.push_back(std::make_unique<dml::Executor>(
-                cl.sim(s), p.mem(), p.kernels(),
+                cl.domainSim(s), p.mem(), p.kernels(),
                 std::vector<DsaDevice *>{&p.dsa(0)}, ec));
         }
     }
@@ -601,9 +601,9 @@ runServingScenario(const Options &opt, unsigned threads)
         dml::ExecutorConfig ec;
         ec.path = dml::Path::Hardware;
         rig.exec = std::make_unique<dml::Executor>(
-            cl.sim(s), p.mem(), p.kernels(),
+            cl.domainSim(s), p.mem(), p.kernels(),
             std::vector<DsaDevice *>{&p.dsa(0)}, ec);
-        rig.node = std::make_unique<dml::ServingNode>(cl.sim(s),
+        rig.node = std::make_unique<dml::ServingNode>(cl.domainSim(s),
                                                       *rig.exec, sc);
         WqAdmission::Config ac;
         ac.bucket = {3000, 8};
@@ -611,7 +611,7 @@ runServingScenario(const Options &opt, unsigned threads)
         p.dsa(0).wq(0).admission = rig.admission.get();
         const std::uint64_t onSocket =
             (tenants - s + cl.socketCount() - 1) / cl.socketCount();
-        rig.done = std::make_unique<Latch>(cl.sim(s),
+        rig.done = std::make_unique<Latch>(cl.domainSim(s),
                                            onSocket * requests);
     }
 

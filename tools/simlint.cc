@@ -1,13 +1,16 @@
 /**
  * @file
- * simlint — the dsasim determinism linter.
+ * simlint — the dsasim determinism and architecture linter.
  *
- * A standalone token-level checker (no libclang) that enforces the
- * project rules that make the simulator bit-deterministic: figure
- * CSVs and chaos-soak replay hashes are only reproducible because sim
- * code never consults host time, host entropy, or unordered-container
- * iteration order. The rules (see DESIGN.md §9, "Determinism
- * contract"):
+ * A standalone checker (no libclang) that enforces the project rules
+ * that make the simulator bit-deterministic: figure CSVs and
+ * chaos-soak replay hashes are only reproducible because sim code
+ * never consults host time, host entropy, or unordered-container
+ * iteration order. v2 grows the per-file token scanner into a
+ * project-wide engine: a lightweight symbol index (classes, methods,
+ * fields, free functions, with const-ness), an include graph across
+ * src/ bench/ tools/, and a name-based call-graph approximation that
+ * powers flow-aware rules. The rules (see DESIGN.md §9 and §14):
  *
  *   wall-clock      no host time sources (std::chrono clocks, time(),
  *                   clock_gettime(), ...) in tick-affecting code
@@ -49,24 +52,67 @@
  *   include-hygiene headers carry a DSASIM_<PATH>_HH include guard
  *                   matching their path, and no #include crosses a
  *                   parent directory ("../").
+ *   layer-hygiene   the include graph respects the layer order
+ *                   sim < mem < ops < cpu < dsa < cbdma < driver <
+ *                   dml < dto < apps (lower layers must not include
+ *                   higher ones: sim/ never sees driver/ or dml/),
+ *                   and mem/ internals (cache, page_table, phys_mem,
+ *                   iommu) stay behind the facades (mem_system,
+ *                   address_space, types, remote_port, tlb).
+ *   observer-purity code reachable from a declared observer surface
+ *                   (`// simlint:observer` on the declaration:
+ *                   stream-hash readers, telemetry samplers, --check
+ *                   reporters) may not write namespace-scope state,
+ *                   const_cast, or call methods that every indexed
+ *                   candidate says are non-const — observers must not
+ *                   perturb the event stream (DESIGN.md §14).
+ *   domain-escape   a cross-domain accessor result (domainSim(...) or
+ *                   any method marked `// simlint:domain-accessor`)
+ *                   may be used inline but not stored through a
+ *                   reference/pointer binding, and no non-const
+ *                   `Simulation *` field may live outside the
+ *                   partition boundary (sim/partition.*,
+ *                   mem/remote_port.*, driver/cluster.*) — stored
+ *                   peer-domain handles bypass PartitionChannel
+ *                   ordering (DESIGN.md §11).
+ *   seed-flow       stateful Rng reachable (via the call graph) from
+ *                   open-loop traffic entry points (functions defined
+ *                   in sim/traffic.* or marked
+ *                   `// simlint:traffic-entry`) — the flow-aware
+ *                   generalization of tenant-rng (DESIGN.md §12).
  *
  * Suppressions: `// simlint:allow(rule)` (comma-separated list) on
  * the offending line, or on its own line to cover the next line.
+ * Markers (`simlint:observer`, `simlint:traffic-entry`,
+ * `simlint:domain-accessor`) follow the same placement grammar and
+ * tag the declaration they cover.
  *
- * Usage: simlint [--fix] [--list-rules] [--treat-as=PATH] PATH...
- *   PATH        files or directories (recursed: .cc/.hh/.cpp/.h)
- *   --treat-as  classify the single input file as if it lived at the
- *               given repo-relative path (used by the fixture tests)
- *   --fix       apply mechanical fixes in place (include-guard
- *               renames); other rules print a `note:` suggestion only
+ * Usage: simlint [options] PATH...
+ *   PATH          files or directories (recursed: .cc/.hh/.cpp/.h)
+ *   --treat-as=P  classify the single input file as if it lived at
+ *                 the given repo-relative path (fixture tests)
+ *   --root=DIR    strip DIR/ from input paths when classifying them
+ *                 (multi-file fixture trees)
+ *   --fix         apply mechanical fixes in place (include-guard
+ *                 renames); other rules print a `note:` only
+ *   --jobs=N      scan/parse N files in parallel (default 1)
+ *   --cache=FILE  whole-tree result cache keyed on content hashes;
+ *                 hits replay the stored diagnostics ("cache hit" on
+ *                 stderr), misses store ("cache store")
+ *   --sarif=FILE  also write SARIF 2.1.0 for code-scanning upload
+ *   --list-rules  print the rule table and exit
  *
- * Exit status: 0 clean, 1 diagnostics were reported, 2 usage error.
+ * Exit status: 0 clean, 1 diagnostics were reported, 2 usage or
+ * internal error (unreadable input, parser failure).
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -74,12 +120,16 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 namespace fs = std::filesystem;
 
 namespace
 {
+
+/// Bumped whenever a rule changes so stale caches self-invalidate.
+const char *kRulesetVersion = "simlint-v2.0";
 
 struct Diagnostic
 {
@@ -117,6 +167,32 @@ struct Suppressions
     }
 };
 
+/** Declaration markers parsed from simlint:<kind> comments. The set
+ * holds the line each marker covers (its own line for a trailing
+ * comment, the next line for a standalone one), matched against the
+ * declaration's [start, header-end] line span. */
+struct Markers
+{
+    std::set<int> observer;
+    std::set<int> trafficEntry;
+    std::set<int> domainAccessor;
+
+    static bool
+    covers(const std::set<int> &s, int lo, int hi)
+    {
+        auto it = s.lower_bound(lo);
+        return it != s.end() && *it <= hi;
+    }
+};
+
+/** One quoted #include directive. */
+struct IncludeRef
+{
+    std::string target;
+    int line = 0;
+    int col = 0;
+};
+
 /** A source file scanned into comment-free tokens plus raw lines. */
 struct ScannedFile
 {
@@ -125,6 +201,8 @@ struct ScannedFile
     std::vector<std::string> rawLines;
     std::vector<Token> tokens;
     Suppressions allow;
+    Markers marks;
+    std::vector<IncludeRef> includes;
 };
 
 /** Parse `simlint:allow(a,b)` out of one comment's text. */
@@ -153,9 +231,24 @@ parseAllow(const std::string &comment, int line, bool commentOnly,
     }
 }
 
+/** Parse declaration markers out of one comment's text. */
+void
+parseMarkers(const std::string &comment, int line, bool commentOnly,
+             Markers &out)
+{
+    const int target = commentOnly ? line + 1 : line;
+    if (comment.find("simlint:observer") != std::string::npos)
+        out.observer.insert(target);
+    if (comment.find("simlint:traffic-entry") != std::string::npos)
+        out.trafficEntry.insert(target);
+    if (comment.find("simlint:domain-accessor") != std::string::npos)
+        out.domainAccessor.insert(target);
+}
+
 /**
  * Strip comments and string/char literal contents (preserving line
- * structure), collect suppression comments, and tokenize.
+ * structure), collect suppression/marker comments, tokenize, and
+ * record quoted #include directives.
  */
 ScannedFile
 scanFile(const std::string &path, const std::string &logical_path,
@@ -182,7 +275,8 @@ scanFile(const std::string &path, const std::string &logical_path,
 
     // Preprocessor lines (and their backslash continuations) are
     // invisible to the token rules: `#include <new>` is not a raw
-    // allocation. include-hygiene reads rawLines directly.
+    // allocation. include-hygiene and the include graph read
+    // rawLines directly.
     std::vector<bool> ppLine(out.rawLines.size() + 1, false);
     {
         bool cont = false;
@@ -268,6 +362,8 @@ scanFile(const std::string &path, const std::string &logical_path,
             if (c == '\n') {
                 parseAllow(comment, commentLine, !lineHadCode,
                            out.allow);
+                parseMarkers(comment, commentLine, !lineHadCode,
+                             out.marks);
                 st = St::Code;
             } else {
                 comment += c;
@@ -277,6 +373,8 @@ scanFile(const std::string &path, const std::string &logical_path,
             if (c == '*' && n == '/') {
                 parseAllow(comment, commentLine, !lineHadCode,
                            out.allow);
+                parseMarkers(comment, commentLine, !lineHadCode,
+                             out.marks);
                 st = St::Code;
                 ++i;
             } else {
@@ -313,8 +411,10 @@ scanFile(const std::string &path, const std::string &logical_path,
             ++line;
         }
     }
-    if (st == St::LineComment || st == St::BlockComment)
+    if (st == St::LineComment || st == St::BlockComment) {
         parseAllow(comment, commentLine, !lineHadCode, out.allow);
+        parseMarkers(comment, commentLine, !lineHadCode, out.marks);
+    }
 
     // Tokenize the code view.
     line = 1;
@@ -375,6 +475,26 @@ scanFile(const std::string &path, const std::string &logical_path,
             }
             out.tokens.push_back(std::move(t));
         }
+    }
+
+    // Quoted #include directives (the include graph's edges).
+    for (std::size_t li = 0; li < out.rawLines.size(); ++li) {
+        const std::string &raw = out.rawLines[li];
+        std::size_t h = raw.find_first_not_of(" \t");
+        if (h == std::string::npos || raw[h] != '#')
+            continue;
+        if (raw.find("include", h) == std::string::npos)
+            continue;
+        std::size_t q = raw.find('"');
+        if (q == std::string::npos)
+            continue;
+        std::size_t q2 = raw.find('"', q + 1);
+        if (q2 == std::string::npos)
+            continue;
+        out.includes.push_back(
+            IncludeRef{raw.substr(q + 1, q2 - q - 1),
+                       static_cast<int>(li) + 1,
+                       static_cast<int>(q) + 1});
     }
     return out;
 }
@@ -443,6 +563,623 @@ expectedGuard(const std::string &p)
     return g;
 }
 
+/// @name FNV-1a (cache keys and content hashes).
+/// @{
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    return fnv1a(h, s.data(), s.size());
+}
+/// @}
+
+// ==================== symbol index ====================
+
+/** One call site inside a function body (name-based). */
+struct CallRef
+{
+    std::string name;
+    bool memberForm = false; ///< obj.f(...) / ptr->f(...)
+    bool qualified = false;  ///< X::f(...)
+    std::string qualHead;    ///< X for qualified calls
+};
+
+/** A function or method declaration/definition. */
+struct FuncRecord
+{
+    std::string cls;  ///< enclosing class ("" = free function)
+    std::string name;
+    std::string qual; ///< cls.empty() ? name : cls + "::" + name
+    int line = 0;     ///< of the name token
+    int col = 0;
+    int startLine = 0;     ///< first token of the declaration
+    int headerEndLine = 0; ///< line of the '{', ';' or '=' header end
+    bool isConst = false;
+    bool hasBody = false;
+    std::size_t bodyBegin = 0; ///< token index just inside '{'
+    std::size_t bodyEnd = 0;   ///< token index of the closing '}'
+    bool observerMarked = false;
+    bool trafficMarked = false;
+    bool accessorMarked = false;
+    std::vector<CallRef> calls;
+    std::size_t fileIdx = 0; ///< set when the project index is built
+};
+
+/** A class-scope data member. */
+struct FieldRecord
+{
+    std::string cls;
+    std::string name;
+    int line = 0;
+    int col = 0;
+    bool simPtr = false;    ///< declared `Simulation *`
+    bool constQual = false; ///< any `const` in the declaration head
+};
+
+/** A namespace-scope variable. */
+struct GlobalRecord
+{
+    std::string name;
+    int line = 0;
+    bool mutableVar = false; ///< no const/constexpr in the head
+};
+
+struct FileSymbols
+{
+    std::vector<FuncRecord> funcs;
+    std::vector<FieldRecord> fields;
+    std::vector<GlobalRecord> globals;
+};
+
+/**
+ * Heuristic structural parser over the token stream. Not a C++ front
+ * end: it recovers just enough structure for the flow-aware rules —
+ * namespace/class nesting, method const-ness, function body token
+ * ranges, class-scope fields and namespace-scope variables — and
+ * errs toward recording nothing when a construct is too exotic to
+ * classify.
+ */
+class StructureParser
+{
+  public:
+    explicit StructureParser(const ScannedFile &file) : f(file) {}
+
+    FileSymbols
+    run()
+    {
+        i = 0;
+        while (i < f.tokens.size()) {
+            const std::size_t before = i;
+            statement();
+            if (i == before)
+                ++i; // never stall on unrecognized syntax
+        }
+        return std::move(out);
+    }
+
+  private:
+    const ScannedFile &f;
+    FileSymbols out;
+    std::size_t i = 0;
+
+    struct Scope
+    {
+        bool isClass = false;
+        std::string name; ///< class name ("" for namespace/linkage)
+    };
+    std::vector<Scope> scopes;
+
+    const std::string &
+    tok(std::size_t k) const
+    {
+        static const std::string empty;
+        return k < f.tokens.size() ? f.tokens[k].text : empty;
+    }
+
+    bool
+    ident(std::size_t k) const
+    {
+        return k < f.tokens.size() && f.tokens[k].isIdent;
+    }
+
+    std::string
+    curClass() const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+            if (it->isClass)
+                return it->name;
+        return "";
+    }
+
+    /** Skip past a balanced group whose opener is at i. */
+    void
+    skipBalanced(const char *open, const char *close)
+    {
+        int depth = 0;
+        while (i < f.tokens.size()) {
+            if (tok(i) == open) {
+                ++depth;
+            } else if (tok(i) == close && --depth == 0) {
+                ++i;
+                return;
+            }
+            ++i;
+        }
+    }
+
+    /** Skip to just past the next ';' at bracket depth zero. */
+    void
+    skipToSemi()
+    {
+        int depth = 0;
+        while (i < f.tokens.size()) {
+            const std::string &t = tok(i);
+            if (t == "(" || t == "{" || t == "[") {
+                ++depth;
+            } else if (t == ")" || t == "}" || t == "]") {
+                --depth;
+            } else if (t == ";" && depth <= 0) {
+                ++i;
+                return;
+            }
+            ++i;
+        }
+    }
+
+    static bool
+    isDeclKeyword(const std::string &t)
+    {
+        static const std::set<std::string> kw = {
+            "const",    "constexpr", "consteval", "constinit",
+            "static",   "inline",    "virtual",   "explicit",
+            "mutable",  "typename",  "unsigned",  "signed",
+            "long",     "short",     "int",       "char",
+            "bool",     "float",     "double",    "void",
+            "auto",     "struct",    "class",     "enum",
+            "register", "extern",    "typedef",   "co_await",
+            "requires", "concept",   "final",     "override",
+            "noexcept", "alignas",   "thread_local"};
+        return kw.count(t) > 0;
+    }
+
+    /** Statement dispatcher at namespace/class scope. */
+    void
+    statement()
+    {
+        const std::string &t = tok(i);
+        if (t == ";") {
+            ++i;
+            return;
+        }
+        if (t == "}") {
+            if (!scopes.empty())
+                scopes.pop_back();
+            ++i;
+            return;
+        }
+        if (t == "namespace") {
+            parseNamespace();
+            return;
+        }
+        if (t == "class" || t == "struct" || t == "union") {
+            parseClass();
+            return;
+        }
+        if (t == "enum") {
+            skipEnum();
+            return;
+        }
+        if (t == "using" || t == "typedef" || t == "friend" ||
+            t == "static_assert") {
+            skipToSemi();
+            return;
+        }
+        if (t == "extern") {
+            parseExtern();
+            return;
+        }
+        if (t == "template") {
+            ++i;
+            if (tok(i) == "<")
+                skipBalanced("<", ">");
+            return; // the declaration that follows parses normally
+        }
+        if ((t == "public" || t == "private" || t == "protected") &&
+            tok(i + 1) == ":") {
+            i += 2;
+            return;
+        }
+        parseDecl();
+    }
+
+    void
+    parseNamespace()
+    {
+        ++i; // 'namespace'
+        if (tok(i) == "[")
+            skipBalanced("[", "]"); // attributes
+        std::size_t nameStart = i;
+        while (ident(i) || tok(i) == "::")
+            ++i;
+        if (tok(i) == "{") {
+            scopes.push_back(Scope{});
+            ++i;
+        } else {
+            i = nameStart;
+            skipToSemi(); // namespace alias / using-directive tail
+        }
+    }
+
+    void
+    parseExtern()
+    {
+        ++i; // 'extern'
+        while (tok(i) == "\"")
+            ++i;
+        if (tok(i) == "{") {
+            scopes.push_back(Scope{}); // linkage block, transparent
+            ++i;
+            return;
+        }
+        statement(); // extern declaration: parse normally
+    }
+
+    void
+    parseClass()
+    {
+        ++i; // class/struct/union
+        std::string name;
+        bool inBases = false;
+        while (i < f.tokens.size()) {
+            const std::string &t = tok(i);
+            if (t == ";") {
+                ++i; // forward declaration
+                return;
+            }
+            if (t == "{") {
+                scopes.push_back(Scope{true, name});
+                ++i;
+                return;
+            }
+            if (t == ":") {
+                inBases = true;
+            } else if (t == "<") {
+                skipBalanced("<", ">");
+                continue;
+            } else if (t == "(") {
+                skipBalanced("(", ")");
+                continue;
+            } else if (ident(i) && !inBases && name.empty() &&
+                       t != "final" && t != "alignas") {
+                name = t;
+            }
+            ++i;
+        }
+    }
+
+    void
+    skipEnum()
+    {
+        while (i < f.tokens.size() && tok(i) != "{" && tok(i) != ";")
+            ++i;
+        if (tok(i) == "{")
+            skipBalanced("{", "}");
+        if (tok(i) == ";")
+            ++i;
+    }
+
+    /** Constructor initializer list: from ':' up to the body '{'. */
+    void
+    skipInitList()
+    {
+        ++i; // ':'
+        int depth = 0;
+        while (i < f.tokens.size()) {
+            const std::string &t = tok(i);
+            if (t == "(" || t == "[") {
+                ++depth;
+            } else if (t == ")" || t == "]") {
+                --depth;
+            } else if (t == "{") {
+                // `member{...}` init braces follow an identifier or
+                // template closer; the function body never does.
+                if (depth == 0 && !ident(i - 1) && tok(i - 1) != ">")
+                    return;
+                ++depth;
+            } else if (t == "}") {
+                --depth;
+            }
+            ++i;
+        }
+    }
+
+    /** Function trailer shared by the skip paths (no record). */
+    void
+    finishFunctionTail()
+    {
+        while (i < f.tokens.size()) {
+            const std::string &t = tok(i);
+            if (t == ";") {
+                ++i;
+                return;
+            }
+            if (t == "=") {
+                skipToSemi();
+                return;
+            }
+            if (t == ":") {
+                skipInitList();
+                continue;
+            }
+            if (t == "{") {
+                skipBalanced("{", "}");
+                return;
+            }
+            if (t == "(") {
+                skipBalanced("(", ")");
+                continue;
+            }
+            if (t == "<") {
+                skipBalanced("<", ">");
+                continue;
+            }
+            ++i;
+        }
+    }
+
+    void
+    skipOperator()
+    {
+        while (i < f.tokens.size() && tok(i) != "(" && tok(i) != ";")
+            ++i;
+        if (tok(i) == "(" && tok(i + 1) == ")" && tok(i + 2) == "(")
+            i += 2; // operator()
+        if (tok(i) == "(")
+            skipBalanced("(", ")");
+        finishFunctionTail();
+    }
+
+    void
+    skipDestructor()
+    {
+        ++i; // '~'
+        if (ident(i))
+            ++i;
+        if (tok(i) == "(")
+            skipBalanced("(", ")");
+        finishFunctionTail();
+    }
+
+    /**
+     * A declaration statement: either a function (record + skip
+     * body) or a variable/field (record head, skip initializer).
+     */
+    void
+    parseDecl()
+    {
+        const std::size_t start = i;
+        bool sawConst = false;
+        std::size_t nameIdx = std::string::npos;
+        while (i < f.tokens.size()) {
+            const std::string &t = tok(i);
+            if (t == "const" || t == "constexpr" ||
+                t == "consteval")
+                sawConst = true;
+            if (t == "operator") {
+                skipOperator();
+                return;
+            }
+            if (t == "~") {
+                skipDestructor();
+                return;
+            }
+            if (t == "<") {
+                skipBalanced("<", ">");
+                continue;
+            }
+            if (t == "[") {
+                skipBalanced("[", "]");
+                continue;
+            }
+            if (t == ";") {
+                finishVariable(start, i, sawConst, nameIdx);
+                ++i;
+                return;
+            }
+            if (t == "=") {
+                finishVariable(start, i, sawConst, nameIdx);
+                skipToSemi();
+                return;
+            }
+            if (t == "{") {
+                // Brace initializer (no declarator parens seen).
+                finishVariable(start, i, sawConst, nameIdx);
+                skipBalanced("{", "}");
+                if (tok(i) == ";")
+                    ++i;
+                return;
+            }
+            if (t == "(") {
+                if (nameIdx != std::string::npos &&
+                    nameIdx == i - 1) {
+                    parseFunction(start, nameIdx);
+                    return;
+                }
+                skipBalanced("(", ")");
+                continue;
+            }
+            if (ident(i) && !isDeclKeyword(t))
+                nameIdx = i;
+            ++i;
+        }
+    }
+
+    void
+    finishVariable(std::size_t start, std::size_t end, bool sawConst,
+                   std::size_t nameIdx)
+    {
+        if (nameIdx == std::string::npos || nameIdx >= end)
+            return;
+        const Token &nt = f.tokens[nameIdx];
+        const std::string cls = curClass();
+        bool simPtr = false;
+        for (std::size_t k = start; k + 1 < end; ++k) {
+            if (ident(k) && tok(k) == "Simulation" &&
+                tok(k + 1) == "*") {
+                simPtr = true;
+                break;
+            }
+        }
+        if (!cls.empty()) {
+            out.fields.push_back(FieldRecord{cls, nt.text, nt.line,
+                                             nt.col, simPtr,
+                                             sawConst});
+        } else {
+            out.globals.push_back(
+                GlobalRecord{nt.text, nt.line, !sawConst});
+        }
+    }
+
+    void
+    parseFunction(std::size_t start, std::size_t nameIdx)
+    {
+        FuncRecord fr;
+        fr.cls = curClass();
+        // Out-of-class definition: Class::name(...).
+        if (nameIdx >= 2 && tok(nameIdx - 1) == "::" &&
+            ident(nameIdx - 2))
+            fr.cls = tok(nameIdx - 2);
+        const Token &nt = f.tokens[nameIdx];
+        fr.name = nt.text;
+        fr.qual = fr.cls.empty() ? fr.name : fr.cls + "::" + fr.name;
+        fr.line = nt.line;
+        fr.col = nt.col;
+        fr.startLine = f.tokens[start].line;
+        skipBalanced("(", ")"); // parameter list
+        bool afterArrow = false;
+        while (i < f.tokens.size()) {
+            const std::string &t = tok(i);
+            if (t == "const") {
+                if (!afterArrow)
+                    fr.isConst = true;
+                ++i;
+            } else if (t == "-" && tok(i + 1) == ">") {
+                afterArrow = true;
+                i += 2;
+            } else if (t == "noexcept") {
+                ++i;
+                if (tok(i) == "(")
+                    skipBalanced("(", ")");
+            } else if (t == "<") {
+                skipBalanced("<", ">");
+            } else if (t == "(") {
+                skipBalanced("(", ")");
+            } else if (t == "[") {
+                skipBalanced("[", "]");
+            } else if (t == ";") {
+                fr.headerEndLine = f.tokens[i].line;
+                ++i;
+                break;
+            } else if (t == "=") {
+                fr.headerEndLine = f.tokens[i].line;
+                skipToSemi(); // = default / = delete / = 0
+                break;
+            } else if (t == ":") {
+                skipInitList();
+            } else if (t == "{") {
+                fr.headerEndLine = f.tokens[i].line;
+                fr.hasBody = true;
+                fr.bodyBegin = i + 1;
+                skipBalanced("{", "}");
+                fr.bodyEnd = i > 0 ? i - 1 : 0;
+                break;
+            } else {
+                ++i; // override/final/&/&&/return-type tokens
+            }
+        }
+        if (fr.headerEndLine == 0)
+            fr.headerEndLine = fr.line;
+        fr.observerMarked = Markers::covers(
+            f.marks.observer, fr.startLine, fr.headerEndLine);
+        fr.trafficMarked = Markers::covers(
+            f.marks.trafficEntry, fr.startLine, fr.headerEndLine);
+        fr.accessorMarked = Markers::covers(
+            f.marks.domainAccessor, fr.startLine, fr.headerEndLine);
+        if (fr.hasBody)
+            extractCalls(fr);
+        out.funcs.push_back(std::move(fr));
+    }
+
+    void
+    extractCalls(FuncRecord &fr)
+    {
+        static const std::set<std::string> keywords = {
+            "if",       "for",      "while",    "switch",
+            "return",   "sizeof",   "alignof",  "decltype",
+            "catch",    "new",      "delete",   "co_await",
+            "co_return", "co_yield", "throw",   "assert",
+            "defined",  "alignas",  "noexcept", "requires"};
+        for (std::size_t k = fr.bodyBegin; k < fr.bodyEnd; ++k) {
+            if (!f.tokens[k].isIdent || tok(k + 1) != "(")
+                continue;
+            const std::string &name = tok(k);
+            if (keywords.count(name))
+                continue;
+            CallRef c;
+            c.name = name;
+            if (k > 0 && (tok(k - 1) == "." ||
+                          (k >= 2 && tok(k - 1) == ">" &&
+                           tok(k - 2) == "-")))
+                c.memberForm = true;
+            else if (k >= 2 && tok(k - 1) == "::" && ident(k - 2)) {
+                c.qualified = true;
+                c.qualHead = tok(k - 2);
+            }
+            if (c.qualified && c.qualHead == "std")
+                continue;
+            fr.calls.push_back(std::move(c));
+        }
+    }
+};
+
+// ==================== per-file rules ====================
+
+/** Directory layering (DESIGN.md §14): lower ranks must not include
+ * higher ones. Unknown directories are exempt. */
+int
+layerRank(const std::string &dir)
+{
+    static const std::map<std::string, int> ranks = {
+        {"sim", 0},   {"mem", 1},    {"ops", 2}, {"cpu", 3},
+        {"dsa", 4},   {"cbdma", 5},  {"driver", 6}, {"dml", 7},
+        {"dto", 8},   {"apps", 9}};
+    auto it = ranks.find(dir);
+    return it == ranks.end() ? -1 : it->second;
+}
+
+/** mem/ headers other components may include. */
+bool
+isMemFacade(const std::string &header)
+{
+    static const std::set<std::string> facades = {
+        "mem_system.hh", "address_space.hh", "types.hh",
+        "remote_port.hh", "tlb.hh"};
+    return facades.count(header) > 0;
+}
+
 class Linter
 {
   public:
@@ -482,6 +1219,8 @@ class Linter
         checkVolatile(f);
         if (isHeader(lp))
             checkIncludeHygiene(f, lp);
+        if (lp.find("src/") != std::string::npos)
+            checkLayerHygiene(f, lp);
     }
 
   private:
@@ -912,26 +1651,59 @@ class Linter
             }
         }
         // Parent-relative includes.
-        for (std::size_t li = 0; li < f.rawLines.size(); ++li) {
-            const std::string &raw = f.rawLines[li];
-            std::size_t h = raw.find_first_not_of(" \t");
-            if (h == std::string::npos || raw[h] != '#')
-                continue;
-            if (raw.find("include") == std::string::npos)
-                continue;
-            std::size_t q = raw.find('"');
-            if (q == std::string::npos)
-                continue;
-            std::size_t q2 = raw.find('"', q + 1);
-            if (q2 == std::string::npos)
-                continue;
-            std::string inc = raw.substr(q + 1, q2 - q - 1);
-            if (inc.find("../") != std::string::npos) {
-                report(f, static_cast<int>(li) + 1,
-                       static_cast<int>(q) + 1, "include-hygiene",
-                       "parent-relative #include \"" + inc + "\"",
+        for (const IncludeRef &inc : f.includes) {
+            if (inc.target.find("../") != std::string::npos) {
+                report(f, inc.line, inc.col, "include-hygiene",
+                       "parent-relative #include \"" + inc.target +
+                           "\"",
                        "include with a source-root-relative path "
                        "(e.g. \"sim/ticks.hh\")");
+            }
+        }
+    }
+
+    void
+    checkLayerHygiene(ScannedFile &f, const std::string &lp)
+    {
+        std::size_t pos = lp.rfind("src/");
+        if (pos == std::string::npos)
+            return;
+        const std::string rest = lp.substr(pos + 4);
+        std::size_t slash = rest.find('/');
+        if (slash == std::string::npos)
+            return;
+        const std::string ownDir = rest.substr(0, slash);
+        const int ownRank = layerRank(ownDir);
+        for (const IncludeRef &inc : f.includes) {
+            const std::string tgt = normalPath(inc.target);
+            std::size_t ts = tgt.find('/');
+            if (ts == std::string::npos)
+                continue;
+            const std::string tgtDir = tgt.substr(0, ts);
+            const int tgtRank = layerRank(tgtDir);
+            if (tgtRank < 0)
+                continue;
+            if (ownRank >= 0 && tgtRank > ownRank) {
+                report(f, inc.line, inc.col, "layer-hygiene",
+                       "'src/" + ownDir + "' must not include '" +
+                           tgt + "' (layer '" + tgtDir +
+                           "' is above '" + ownDir + "')",
+                       "lower layers stay ignorant of higher ones "
+                       "(sim < mem < ops < cpu < dsa < cbdma < "
+                       "driver < dml < dto < apps, DESIGN.md §14); "
+                       "invert the dependency with a callback or a "
+                       "registration hook");
+                continue;
+            }
+            if (tgtDir == "mem" && ownDir != "mem" &&
+                !isMemFacade(tgt.substr(ts + 1))) {
+                report(f, inc.line, inc.col, "layer-hygiene",
+                       "mem/ internal header '" + tgt +
+                           "' included outside src/mem",
+                       "go through the facades (mem_system.hh, "
+                       "address_space.hh, types.hh, remote_port.hh, "
+                       "tlb.hh); cache/page-table/phys-mem/iommu "
+                       "stay private to src/mem (DESIGN.md §14)");
             }
         }
     }
@@ -973,6 +1745,441 @@ class Linter
     }
 };
 
+/** Everything the scan phase produces for one file. */
+struct FileResult
+{
+    ScannedFile sf;
+    FileSymbols syms;
+    std::vector<Diagnostic> diags;
+    std::size_t suppressed = 0;
+    std::size_t fixesApplied = 0;
+    std::string error; ///< nonempty: read/parse failure (exit 2)
+};
+
+// ==================== cross-TU analysis ====================
+
+/**
+ * Project-wide passes over the merged symbol index: a name-based
+ * call-graph BFS for observer-purity and seed-flow, and the
+ * domain-escape accessor/field rules. Conservative by construction —
+ * an edge exists whenever a call site's name matches a record, so
+ * reachability over-approximates; the purity checks then only fire
+ * when *every* indexed candidate agrees the callee mutates.
+ */
+class ProjectAnalyzer
+{
+  public:
+    explicit ProjectAnalyzer(std::vector<FileResult> &results)
+        : files(results)
+    {
+        for (std::size_t fi = 0; fi < files.size(); ++fi) {
+            for (FuncRecord &fr : files[fi].syms.funcs) {
+                fr.fileIdx = fi;
+                const std::size_t idx = funcs.size();
+                funcs.push_back(&fr);
+                byName[fr.name].push_back(idx);
+                byQual[fr.qual].push_back(idx);
+                if (!fr.cls.empty())
+                    methodsByName[fr.name].push_back(idx);
+                if (fr.accessorMarked)
+                    accessorNames.insert(fr.name);
+            }
+            for (const GlobalRecord &g : files[fi].syms.globals)
+                if (g.mutableVar)
+                    mutableGlobals.insert(g.name);
+        }
+        accessorNames.insert("domainSim");
+    }
+
+    void
+    run()
+    {
+        checkDomainEscape();
+        checkObserverPurity();
+        checkSeedFlow();
+    }
+
+  private:
+    std::vector<FileResult> &files;
+    std::vector<FuncRecord *> funcs;
+    std::map<std::string, std::vector<std::size_t>> byName;
+    std::map<std::string, std::vector<std::size_t>> byQual;
+    std::map<std::string, std::vector<std::size_t>> methodsByName;
+    std::set<std::string> mutableGlobals;
+    std::set<std::string> accessorNames;
+
+    void
+    report(std::size_t file_idx, int line, int col,
+           const std::string &rule, const std::string &msg,
+           const std::string &note)
+    {
+        FileResult &fr = files[file_idx];
+        if (fr.sf.allow.allows(line, rule)) {
+            ++fr.suppressed;
+            return;
+        }
+        fr.diags.push_back(Diagnostic{fr.sf.path, line, col, rule,
+                                      msg, note, false});
+    }
+
+    static bool
+    isMemberAt(const std::vector<Token> &T, std::size_t i)
+    {
+        if (i > 0 && T[i - 1].text == ".")
+            return true;
+        return i >= 2 && T[i - 1].text == ">" && T[i - 2].text == "-";
+    }
+
+    /** A lone '=' (not ==, <=, >=, !=) at index j. */
+    static bool
+    isAssignEq(const std::vector<Token> &T, std::size_t j)
+    {
+        if (T[j].text != "=")
+            return false;
+        if (j + 1 < T.size() && T[j + 1].text == "=")
+            return false;
+        if (j > 0) {
+            const std::string &p = T[j - 1].text;
+            if (p == "=" || p == "!" || p == "<" || p == ">")
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * BFS over qualified names from @p roots; fills qual ->
+     * first-reaching root (function index). Roots must be passed in
+     * deterministic order (file order, then declaration order).
+     */
+    void
+    reach(const std::vector<std::size_t> &roots,
+          std::map<std::string, std::size_t> &origin_of)
+    {
+        std::vector<std::string> queue;
+        for (std::size_t r : roots) {
+            const std::string &q = funcs[r]->qual;
+            if (origin_of.emplace(q, r).second)
+                queue.push_back(q);
+        }
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const std::string qual = queue[head];
+            const std::size_t root = origin_of.at(qual);
+            auto qit = byQual.find(qual);
+            if (qit == byQual.end())
+                continue;
+            for (std::size_t fi : qit->second) {
+                for (const CallRef &c : funcs[fi]->calls) {
+                    const std::vector<std::size_t> *targets =
+                        nullptr;
+                    std::vector<std::size_t> filtered;
+                    if (c.memberForm) {
+                        auto it = methodsByName.find(c.name);
+                        if (it == methodsByName.end())
+                            continue;
+                        targets = &it->second;
+                    } else {
+                        auto it = byName.find(c.name);
+                        if (it == byName.end())
+                            continue;
+                        if (c.qualified) {
+                            for (std::size_t ti : it->second)
+                                if (funcs[ti]->cls == c.qualHead)
+                                    filtered.push_back(ti);
+                        }
+                        targets = filtered.empty() ? &it->second
+                                                   : &filtered;
+                    }
+                    for (std::size_t ti : *targets) {
+                        const std::string &tq = funcs[ti]->qual;
+                        if (origin_of.emplace(tq, root).second)
+                            queue.push_back(tq);
+                    }
+                }
+            }
+        }
+    }
+
+    std::string
+    whereDeclared(std::size_t func_idx) const
+    {
+        const FuncRecord &fr = *funcs[func_idx];
+        return "'" + fr.qual + "' (" +
+               files[fr.fileIdx].sf.path + ":" +
+               std::to_string(fr.line) + ")";
+    }
+
+    // -------- domain-escape --------
+
+    static bool
+    isBoundaryFile(const std::string &lp)
+    {
+        return lp.find("sim/partition.") != std::string::npos ||
+               lp.find("mem/remote_port.") != std::string::npos ||
+               lp.find("driver/cluster.") != std::string::npos;
+    }
+
+    void
+    checkDomainEscape()
+    {
+        for (std::size_t fi = 0; fi < files.size(); ++fi) {
+            const std::string lp =
+                normalPath(files[fi].sf.logicalPath);
+            if (lp.find("src/") == std::string::npos ||
+                isBoundaryFile(lp))
+                continue;
+            escapeBindings(fi);
+            escapeFields(fi);
+        }
+    }
+
+    /** Arm 1: `T &x = obj.domainSim(...)` style stored bindings. */
+    void
+    escapeBindings(std::size_t fi)
+    {
+        const std::vector<Token> &T = files[fi].sf.tokens;
+        for (std::size_t i = 0; i < T.size(); ++i) {
+            if (!T[i].isIdent || accessorNames.count(T[i].text) == 0)
+                continue;
+            if (!isMemberAt(T, i) || i + 1 >= T.size() ||
+                T[i + 1].text != "(")
+                continue;
+            // Statement start: just after the previous ; { or }.
+            std::size_t stmt = i;
+            while (stmt > 0) {
+                const std::string &p = T[stmt - 1].text;
+                if (p == ";" || p == "{" || p == "}")
+                    break;
+                --stmt;
+            }
+            bool hasAssign = false, hasBind = false;
+            for (std::size_t j = stmt; j < i; ++j) {
+                if (isAssignEq(T, j))
+                    hasAssign = true;
+                if (T[j].text == "&" || T[j].text == "*")
+                    hasBind = true;
+            }
+            if (hasAssign && hasBind) {
+                report(fi, T[i].line, T[i].col, "domain-escape",
+                       "stored result of cross-domain accessor '" +
+                           T[i].text + "'",
+                       "domain handles may be used inline but not "
+                       "bound through a reference/pointer; route "
+                       "cross-domain interaction through "
+                       "PartitionChannel/RemotePort "
+                       "(sim/partition.hh, mem/remote_port.hh, "
+                       "DESIGN.md §14)");
+            }
+        }
+    }
+
+    /** Arm 2: non-const `Simulation *` fields outside the boundary. */
+    void
+    escapeFields(std::size_t fi)
+    {
+        for (const FieldRecord &fd : files[fi].syms.fields) {
+            if (!fd.simPtr || fd.constQual)
+                continue;
+            report(fi, fd.line, fd.col, "domain-escape",
+                   "non-const 'Simulation *' field '" + fd.cls +
+                       "::" + fd.name +
+                       "' outside the partition boundary",
+                   "peer-domain pointers live in the sanctioned "
+                   "boundary (sim/partition.*, mem/remote_port.*, "
+                   "driver/cluster.*); store a RemotePort instead, "
+                   "or make the pointer const (DESIGN.md §14)");
+        }
+    }
+
+    // -------- observer-purity --------
+
+    /** std container/member vocabulary that must never be treated as
+     * a simulated-component mutator even when a model class happens
+     * to share the name. */
+    static bool
+    isNeutralMember(const std::string &name)
+    {
+        static const std::set<std::string> neutral = {
+            "push_back", "emplace_back", "pop_back", "clear",
+            "resize",    "reserve",      "insert",   "erase",
+            "emplace",   "assign",       "append",   "store",
+            "exchange",  "str",          "c_str",    "substr",
+            "reset",     "release",      "swap",     "size",
+            "empty",     "at",           "find",     "count",
+            "data",      "front",        "back",     "begin",
+            "end",       "cbegin",       "cend",     "rbegin",
+            "rend",      "contains",     "length",   "capacity",
+            "to_string", "value",        "has_value"};
+        return neutral.count(name) > 0;
+    }
+
+    void
+    checkObserverPurity()
+    {
+        // Roots: every record sharing a qual with a marked
+        // declaration (the marker may sit on the header decl while
+        // the body lives in the .cc).
+        std::set<std::string> markedQuals;
+        for (const FuncRecord *fr : funcs)
+            if (fr->observerMarked)
+                markedQuals.insert(fr->qual);
+        if (markedQuals.empty())
+            return;
+        std::vector<std::size_t> roots;
+        for (std::size_t i = 0; i < funcs.size(); ++i)
+            if (markedQuals.count(funcs[i]->qual))
+                roots.push_back(i);
+        std::map<std::string, std::size_t> originOf;
+        reach(roots, originOf);
+        for (const auto &[qual, root] : originOf) {
+            auto qit = byQual.find(qual);
+            if (qit == byQual.end())
+                continue;
+            for (std::size_t fi : qit->second)
+                if (funcs[fi]->hasBody)
+                    scanObserverBody(*funcs[fi], root);
+        }
+    }
+
+    void
+    scanObserverBody(const FuncRecord &fn, std::size_t root)
+    {
+        const std::vector<Token> &T =
+            files[fn.fileIdx].sf.tokens;
+        for (std::size_t k = fn.bodyBegin;
+             k < fn.bodyEnd && k < T.size(); ++k) {
+            const Token &t = T[k];
+            if (!t.isIdent)
+                continue;
+            if (t.text == "const_cast") {
+                report(fn.fileIdx, t.line, t.col, "observer-purity",
+                       "'const_cast' in code reachable from "
+                       "observer " + whereDeclared(root),
+                       "observer surfaces (stream hashes, telemetry "
+                       "samplers, --check reporters) must stay "
+                       "read-only so they cannot perturb the event "
+                       "stream (DESIGN.md §14)");
+                continue;
+            }
+            // Non-const member call: every indexed candidate of
+            // this method name is non-const.
+            if (isMemberAt(T, k) && k + 1 < T.size() &&
+                T[k + 1].text == "(" && !isNeutralMember(t.text)) {
+                auto it = methodsByName.find(t.text);
+                if (it != methodsByName.end()) {
+                    bool anyConst = false;
+                    for (std::size_t mi : it->second)
+                        if (funcs[mi]->isConst)
+                            anyConst = true;
+                    if (!anyConst) {
+                        report(fn.fileIdx, t.line, t.col,
+                               "observer-purity",
+                               "call to non-const method '" + t.text +
+                                   "' in code reachable from "
+                                   "observer " + whereDeclared(root),
+                               "observer surfaces must stay "
+                               "read-only; add a const overload or "
+                               "sample a published counter instead "
+                               "(DESIGN.md §14)");
+                    }
+                }
+                continue;
+            }
+            // Write to a namespace-scope variable.
+            if (mutableGlobals.count(t.text) > 0 &&
+                !isMemberAt(T, k) &&
+                !(k > 0 && (T[k - 1].isIdent ||
+                            T[k - 1].text == "::"))) {
+                bool write = false;
+                if (k + 1 < T.size() && isAssignEq(T, k + 1))
+                    write = true;
+                static const std::set<std::string> compound = {
+                    "+", "-", "*", "/", "%", "&", "|", "^"};
+                if (k + 2 < T.size() &&
+                    compound.count(T[k + 1].text) > 0 &&
+                    T[k + 2].text == "=")
+                    write = true;
+                if (k + 2 < T.size() &&
+                    ((T[k + 1].text == "+" && T[k + 2].text == "+") ||
+                     (T[k + 1].text == "-" && T[k + 2].text == "-")))
+                    write = true;
+                if (k >= 2 &&
+                    ((T[k - 1].text == "+" && T[k - 2].text == "+") ||
+                     (T[k - 1].text == "-" && T[k - 2].text == "-")))
+                    write = true;
+                if (write) {
+                    report(fn.fileIdx, t.line, t.col,
+                           "observer-purity",
+                           "write to namespace-scope variable '" +
+                               t.text +
+                               "' in code reachable from observer " +
+                               whereDeclared(root),
+                           "observer surfaces must stay read-only "
+                           "so they cannot perturb the event stream "
+                           "(DESIGN.md §14)");
+                }
+            }
+        }
+    }
+
+    // -------- seed-flow --------
+
+    void
+    checkSeedFlow()
+    {
+        std::vector<std::size_t> roots;
+        for (std::size_t i = 0; i < funcs.size(); ++i) {
+            const std::string lp = normalPath(
+                files[funcs[i]->fileIdx].sf.logicalPath);
+            if (funcs[i]->trafficMarked ||
+                lp.find("sim/traffic") != std::string::npos)
+                roots.push_back(i);
+        }
+        if (roots.empty())
+            return;
+        std::map<std::string, std::size_t> originOf;
+        reach(roots, originOf);
+        for (const auto &[qual, root] : originOf) {
+            auto qit = byQual.find(qual);
+            if (qit == byQual.end())
+                continue;
+            for (std::size_t fi : qit->second) {
+                const FuncRecord &fn = *funcs[fi];
+                if (!fn.hasBody)
+                    continue;
+                const std::string lp = normalPath(
+                    files[fn.fileIdx].sf.logicalPath);
+                // tenant-rng already polices the traffic layer
+                // itself, and sim/random.hh defines Rng.
+                if (lp.find("src/") == std::string::npos ||
+                    lp.find("sim/traffic") != std::string::npos ||
+                    lp.find("sim/random.hh") != std::string::npos)
+                    continue;
+                const std::vector<Token> &T =
+                    files[fn.fileIdx].sf.tokens;
+                for (std::size_t k = fn.bodyBegin;
+                     k < fn.bodyEnd && k < T.size(); ++k) {
+                    const Token &t = T[k];
+                    if (t.isIdent && t.text == "Rng" &&
+                        !isMemberAt(T, k)) {
+                        report(
+                            fn.fileIdx, t.line, t.col, "seed-flow",
+                            "stateful 'Rng' reachable from "
+                            "open-loop traffic entry " +
+                                whereDeclared(root),
+                            "arrival-driven paths must stay "
+                            "counter-based (CounterRng::at(k), "
+                            "DESIGN.md §12) so every variate is "
+                            "independent of event interleaving and "
+                            "DSASIM_PARTITIONS");
+                    }
+                }
+            }
+        }
+    }
+};
+
+// ==================== output + cache ====================
+
 const char *kRuleHelp =
     "rules:\n"
     "  wall-clock       host time sources in src/sim, src/dsa, "
@@ -993,7 +2200,26 @@ const char *kRuleHelp =
     "outside mem/cache.*\n"
     "  include-hygiene  DSASIM_<PATH>_HH guards; no \"../\" "
     "includes\n"
+    "  layer-hygiene    include graph respects sim < mem < ops < "
+    "cpu < dsa < cbdma < driver < dml < dto < apps; mem/ internals "
+    "behind facades\n"
+    "  observer-purity  code reachable from // simlint:observer "
+    "declarations must not mutate sim state\n"
+    "  domain-escape    cross-domain accessor results are not "
+    "stored; no non-const Simulation* fields outside the partition "
+    "boundary\n"
+    "  seed-flow        stateful Rng reachable from traffic entry "
+    "points (call-graph tenant-rng)\n"
+    "markers: // simlint:observer, // simlint:traffic-entry, "
+    "// simlint:domain-accessor\n"
     "suppress with: // simlint:allow(rule[,rule...])\n";
+
+const char *kAllRuleIds[] = {
+    "wall-clock",      "entropy",       "unordered-iter",
+    "raw-alloc",       "cross-domain",  "tenant-rng",
+    "banned-fn",       "volatile-sync", "acct-loop",
+    "include-hygiene", "layer-hygiene", "observer-purity",
+    "domain-escape",   "seed-flow"};
 
 bool
 lintableExtension(const fs::path &p)
@@ -1002,13 +2228,207 @@ lintableExtension(const fs::path &p)
     return e == ".cc" || e == ".hh" || e == ".cpp" || e == ".h";
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** SARIF 2.1.0 for GitHub code scanning. */
+std::string
+sarifReport(const std::vector<Diagnostic> &diags)
+{
+    std::string s;
+    s += "{\n"
+         "  \"$schema\": \"https://raw.githubusercontent.com/oasis-"
+         "tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"simlint\",\n"
+         "          \"informationUri\": "
+         "\"DESIGN.md\",\n"
+         "          \"rules\": [\n";
+    for (std::size_t i = 0;
+         i < sizeof kAllRuleIds / sizeof kAllRuleIds[0]; ++i) {
+        s += std::string("            {\"id\": \"") +
+             kAllRuleIds[i] + "\"}";
+        s += i + 1 < sizeof kAllRuleIds / sizeof kAllRuleIds[0]
+                 ? ",\n"
+                 : "\n";
+    }
+    s += "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        std::string text = d.message;
+        if (!d.note.empty())
+            text += " — " + d.note;
+        s += "        {\n";
+        s += "          \"ruleId\": \"" + jsonEscape(d.rule) +
+             "\",\n";
+        s += std::string("          \"level\": \"") +
+             (d.advisory ? "note" : "error") + "\",\n";
+        s += "          \"message\": {\"text\": \"" +
+             jsonEscape(text) + "\"},\n";
+        s += "          \"locations\": [\n"
+             "            {\n"
+             "              \"physicalLocation\": {\n"
+             "                \"artifactLocation\": {\"uri\": \"" +
+             jsonEscape(normalPath(d.path)) +
+             "\"},\n"
+             "                \"region\": {\"startLine\": " +
+             std::to_string(d.line > 0 ? d.line : 1) +
+             ", \"startColumn\": " +
+             std::to_string(d.col > 0 ? d.col : 1) +
+             "}\n"
+             "              }\n"
+             "            }\n"
+             "          ]\n";
+        s += i + 1 < diags.size() ? "        },\n" : "        }\n";
+    }
+    s += "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+    return s;
+}
+
+/** Totals the cache must reproduce on a hit. */
+struct RunTotals
+{
+    std::size_t errors = 0;
+    std::size_t notes = 0;
+    std::size_t suppressed = 0;
+    std::size_t fileCount = 0;
+};
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+bool
+loadCache(const std::string &path, const std::string &key,
+          RunTotals &totals, std::string &out_text,
+          std::string &sarif_text)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::string magic, storedKey;
+    int version = 0;
+    if (!(is >> magic >> version >> storedKey))
+        return false;
+    if (magic != "simlint-cache" || version != 1 ||
+        storedKey != key)
+        return false;
+    std::string tag;
+    std::size_t n = 0;
+    auto readBlock = [&is](std::size_t len, std::string &dst) {
+        dst.resize(len);
+        is.ignore(1); // the newline after the length
+        is.read(dst.data(), static_cast<std::streamsize>(len));
+        return static_cast<std::size_t>(is.gcount()) == len;
+    };
+    while (is >> tag) {
+        if (tag == "errors" && (is >> n))
+            totals.errors = n;
+        else if (tag == "notes" && (is >> n))
+            totals.notes = n;
+        else if (tag == "suppressed" && (is >> n))
+            totals.suppressed = n;
+        else if (tag == "files" && (is >> n))
+            totals.fileCount = n;
+        else if (tag == "stdout" && (is >> n)) {
+            if (!readBlock(n, out_text))
+                return false;
+        } else if (tag == "sarif" && (is >> n)) {
+            if (!readBlock(n, sarif_text))
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+storeCache(const std::string &path, const std::string &key,
+           const RunTotals &totals, const std::string &out_text,
+           const std::string &sarif_text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return; // cache is best-effort
+    os << "simlint-cache 1 " << key << "\n";
+    os << "errors " << totals.errors << "\n";
+    os << "notes " << totals.notes << "\n";
+    os << "suppressed " << totals.suppressed << "\n";
+    os << "files " << totals.fileCount << "\n";
+    os << "stdout " << out_text.size() << "\n" << out_text;
+    os << "sarif " << sarif_text.size() << "\n" << sarif_text;
+}
+
+void
+printSummary(const RunTotals &t, std::size_t fixes)
+{
+    if (t.errors + t.notes == 0 && t.suppressed == 0 && fixes == 0)
+        return;
+    std::fprintf(stderr,
+                 "simlint: %zu error(s), %zu note(s), %zu "
+                 "suppressed, %zu fixed, %zu file(s)\n",
+                 t.errors, t.notes, t.suppressed, fixes,
+                 t.fileCount);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool fix = false;
-    std::string treatAs;
+    std::string treatAs, rootPrefix, cachePath, sarifPath;
+    unsigned jobs = 1;
     std::vector<std::string> inputs;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -1019,6 +2439,23 @@ main(int argc, char **argv)
             return 0;
         } else if (a.rfind("--treat-as=", 0) == 0) {
             treatAs = a.substr(11);
+        } else if (a.rfind("--root=", 0) == 0) {
+            rootPrefix = normalPath(a.substr(7));
+            while (!rootPrefix.empty() && rootPrefix.back() == '/')
+                rootPrefix.pop_back();
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(a.c_str() + 7, nullptr, 10));
+            if (jobs == 0) {
+                std::fprintf(stderr,
+                             "simlint: --jobs needs a positive "
+                             "count\n");
+                return 2;
+            }
+        } else if (a.rfind("--cache=", 0) == 0) {
+            cachePath = a.substr(8);
+        } else if (a.rfind("--sarif=", 0) == 0) {
+            sarifPath = a.substr(8);
         } else if (a.rfind("--", 0) == 0) {
             std::fprintf(stderr, "simlint: unknown option %s\n",
                          a.c_str());
@@ -1030,7 +2467,8 @@ main(int argc, char **argv)
     if (inputs.empty()) {
         std::fprintf(stderr,
                      "usage: simlint [--fix] [--list-rules] "
-                     "[--treat-as=PATH] PATH...\n");
+                     "[--treat-as=PATH] [--root=DIR] [--jobs=N] "
+                     "[--cache=FILE] [--sarif=FILE] PATH...\n");
         return 2;
     }
     if (!treatAs.empty() && inputs.size() != 1) {
@@ -1064,22 +2502,142 @@ main(int argc, char **argv)
     files.erase(std::unique(files.begin(), files.end()),
                 files.end());
 
-    Linter linter(fix);
-    for (const auto &file : files) {
-        std::ifstream is(file, std::ios::binary);
+    // Read every file up front: contents feed both the cache key
+    // and the scan phase.
+    std::vector<std::string> contents(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::ifstream is(files[i], std::ios::binary);
         if (!is) {
             std::fprintf(stderr, "simlint: cannot read %s\n",
-                         file.c_str());
+                         files[i].c_str());
             return 2;
         }
         std::ostringstream ss;
         ss << is.rdbuf();
-        ScannedFile sf = scanFile(
-            file, treatAs.empty() ? file : treatAs, ss.str());
-        linter.lint(sf);
+        contents[i] = std::move(ss).str();
     }
 
-    std::stable_sort(linter.diags.begin(), linter.diags.end(),
+    auto logicalFor = [&](const std::string &path) {
+        if (!treatAs.empty())
+            return treatAs;
+        std::string p = normalPath(path);
+        if (!rootPrefix.empty() &&
+            p.rfind(rootPrefix + "/", 0) == 0)
+            p = p.substr(rootPrefix.size() + 1);
+        return p;
+    };
+
+    // Whole-tree cache: keyed on the ruleset version, the
+    // classification options, and every (path, content hash).
+    const bool useCache = !cachePath.empty() && !fix;
+    std::string cacheKey;
+    if (useCache) {
+        std::uint64_t h = fnv1a(kFnvOffset, kRulesetVersion);
+        h = fnv1a(h, treatAs);
+        h = fnv1a(h, rootPrefix);
+        for (std::size_t i = 0; i < files.size(); ++i) {
+            h = fnv1a(h, files[i]);
+            const std::uint64_t ch =
+                fnv1a(kFnvOffset, contents[i]);
+            h = fnv1a(h, &ch, sizeof ch);
+        }
+        cacheKey = hexKey(h);
+        RunTotals totals;
+        std::string outText, sarifText;
+        if (loadCache(cachePath, cacheKey, totals, outText,
+                      sarifText)) {
+            std::fwrite(outText.data(), 1, outText.size(), stdout);
+            if (!sarifPath.empty()) {
+                std::ofstream os(sarifPath,
+                                 std::ios::binary | std::ios::trunc);
+                os << sarifText;
+                if (!os.good()) {
+                    std::fprintf(stderr,
+                                 "simlint: cannot write %s\n",
+                                 sarifPath.c_str());
+                    return 2;
+                }
+            }
+            printSummary(totals, 0);
+            std::fprintf(stderr, "simlint: cache hit (%zu files)\n",
+                         totals.fileCount);
+            return totals.errors == 0 ? 0 : 1;
+        }
+    }
+
+    // Phase 1: parallel per-file scan, parse and single-file rules.
+    std::vector<FileResult> results(files.size());
+    {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= files.size())
+                    return;
+                FileResult &r = results[i];
+                try {
+                    r.sf = scanFile(files[i],
+                                    logicalFor(files[i]),
+                                    contents[i]);
+                    r.syms = StructureParser(r.sf).run();
+                    Linter linter(fix);
+                    linter.lint(r.sf);
+                    r.diags = std::move(linter.diags);
+                    r.suppressed = linter.suppressed;
+                    r.fixesApplied = linter.fixesApplied;
+                } catch (const std::exception &e) {
+                    r.error = files[i] + ": " + e.what();
+                } catch (...) {
+                    r.error = files[i] + ": unknown parse failure";
+                }
+            }
+        };
+        const unsigned n = std::min<unsigned>(
+            jobs, static_cast<unsigned>(
+                      std::max<std::size_t>(files.size(), 1)));
+        if (n <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            for (unsigned t = 0; t < n; ++t)
+                pool.emplace_back(worker);
+            for (auto &t : pool)
+                t.join();
+        }
+    }
+    for (const FileResult &r : results) {
+        if (!r.error.empty()) {
+            std::fprintf(stderr, "simlint: internal error: %s\n",
+                         r.error.c_str());
+            return 2;
+        }
+    }
+
+    // Phase 2: cross-TU rules over the merged symbol index.
+    try {
+        ProjectAnalyzer(results).run();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "simlint: internal error: cross-TU analysis: "
+                     "%s\n",
+                     e.what());
+        return 2;
+    }
+
+    // Deterministic merge: file order is sorted, per-file order is
+    // rule order; position sort is stable across both.
+    std::vector<Diagnostic> diags;
+    RunTotals totals;
+    std::size_t fixesApplied = 0;
+    totals.fileCount = files.size();
+    for (FileResult &r : results) {
+        for (Diagnostic &d : r.diags)
+            diags.push_back(std::move(d));
+        totals.suppressed += r.suppressed;
+        fixesApplied += r.fixesApplied;
+    }
+    std::stable_sort(diags.begin(), diags.end(),
                      [](const Diagnostic &a, const Diagnostic &b) {
                          if (a.path != b.path)
                              return a.path < b.path;
@@ -1087,24 +2645,38 @@ main(int argc, char **argv)
                              return a.line < b.line;
                          return a.col < b.col;
                      });
-    std::size_t errors = 0;
-    for (const auto &d : linter.diags) {
+    std::string outText;
+    for (const auto &d : diags) {
         if (!d.advisory)
-            ++errors;
-        std::printf("%s:%d:%d: %s: [%s] %s\n", d.path.c_str(),
-                    d.line, d.col, d.advisory ? "note" : "error",
-                    d.rule.c_str(), d.message.c_str());
+            ++totals.errors;
+        outText += d.path + ":" + std::to_string(d.line) + ":" +
+                   std::to_string(d.col) + ": " +
+                   (d.advisory ? "note" : "error") + ": [" + d.rule +
+                   "] " + d.message + "\n";
         if (!d.note.empty())
-            std::printf("    note: %s\n", d.note.c_str());
+            outText += "    note: " + d.note + "\n";
     }
-    const std::size_t advisories = linter.diags.size() - errors;
-    if (!linter.diags.empty() || linter.suppressed > 0 ||
-        linter.fixesApplied > 0) {
-        std::fprintf(stderr,
-                     "simlint: %zu error(s), %zu note(s), %zu "
-                     "suppressed, %zu fixed, %zu file(s)\n",
-                     errors, advisories, linter.suppressed,
-                     linter.fixesApplied, files.size());
+    totals.notes = diags.size() - totals.errors;
+    std::fwrite(outText.data(), 1, outText.size(), stdout);
+
+    std::string sarifText;
+    if (!sarifPath.empty() || useCache)
+        sarifText = sarifReport(diags);
+    if (!sarifPath.empty()) {
+        std::ofstream os(sarifPath,
+                         std::ios::binary | std::ios::trunc);
+        os << sarifText;
+        if (!os.good()) {
+            std::fprintf(stderr, "simlint: cannot write %s\n",
+                         sarifPath.c_str());
+            return 2;
+        }
     }
-    return errors == 0 ? 0 : 1;
+    if (useCache) {
+        storeCache(cachePath, cacheKey, totals, outText, sarifText);
+        std::fprintf(stderr, "simlint: cache store (%zu files)\n",
+                     totals.fileCount);
+    }
+    printSummary(totals, fixesApplied);
+    return totals.errors == 0 ? 0 : 1;
 }
