@@ -187,7 +187,7 @@ runArm(const Params &p, bool qos, unsigned threads)
             ac.defaultClass = QosClass::Opportunistic;
             ac.opportunisticFraction = 0.5;
             rig.admission = std::make_unique<WqAdmission>(ac);
-            plat.dsa(0).wq(1).admission = rig.admission.get();
+            plat.dsa(0).installAdmission(1, rig.admission.get());
         }
     }
 

@@ -7,7 +7,22 @@ namespace dsasim::apps
 
 MiniCache::MiniCache(Platform &p, AddressSpace &space, Dto &dto,
                      const Config &cfg)
-    : plat(p), as(space), dtoLib(dto), config(cfg)
+    : MiniCache(p, space, dto, cfg,
+                p.sim().stats().scope("minicache") + ".")
+{}
+
+MiniCache::MiniCache(Platform &p, AddressSpace &space, Dto &dto,
+                     const Config &cfg, const std::string &scope)
+    : plat(p), as(space), dtoLib(dto), config(cfg),
+      getOpsCtr(p.sim().stats().counter(
+          scope + "lookups", "get() calls served")),
+      getHitsCtr(p.sim().stats().counter(
+          scope + "hits", "get() calls that found the key")),
+      setOpsCtr(p.sim().stats().counter(
+          scope + "sets", "set() calls served")),
+      copiedBytesCtr(p.sim().stats().counter(
+          scope + "bytes_copied",
+          "value bytes moved through DTO by get() and set()"))
 {
     fatal_if(config.sizeClasses.empty(), "no slab size classes");
     freelists.resize(config.sizeClasses.size());
@@ -62,7 +77,7 @@ CoTask
 MiniCache::get(Core &core, std::uint64_t key, Addr out_buf,
                std::uint64_t &value_len, bool &hit)
 {
-    ++getOps;
+    getOpsCtr.inc();
     co_await core.busyFor(
         core.cpuParams().cyclesToTicks(config.indexCyclesPerOp),
         "cache-index");
@@ -73,9 +88,9 @@ MiniCache::get(Core &core, std::uint64_t key, Addr out_buf,
         co_return;
     }
     hit = true;
-    ++getHits;
+    getHitsCtr.inc();
     value_len = it->second.len;
-    copiedBytes += it->second.len;
+    copiedBytesCtr.add(it->second.len);
     co_await dtoLib.memcpyCall(core, as, out_buf, it->second.addr,
                                it->second.len);
 }
@@ -84,8 +99,8 @@ CoTask
 MiniCache::set(Core &core, std::uint64_t key, Addr src_buf,
                std::uint64_t len)
 {
-    ++setOps;
-    copiedBytes += len;
+    setOpsCtr.inc();
+    copiedBytesCtr.add(len);
     co_await core.busyFor(
         core.cpuParams().cyclesToTicks(config.indexCyclesPerOp),
         "cache-index");

@@ -12,6 +12,7 @@
 #define DSASIM_APPS_MINICACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,15 +56,21 @@ class MiniCache
     std::uint64_t evictions() const { return evicted; }
 
     /// @name Operation counters (per-tenant SLO accounting when a
-    /// cache instance backs one serving tenant).
+    /// cache instance backs one serving tenant). Registry counters
+    /// under this instance's minicache<N>. scope (DESIGN.md §15).
     /// @{
-    std::uint64_t lookups() const { return getOps; }
-    std::uint64_t hits() const { return getHits; }
-    std::uint64_t sets() const { return setOps; }
-    std::uint64_t bytesCopied() const { return copiedBytes; }
+    std::uint64_t lookups() const { return getOpsCtr.value(); }
+    std::uint64_t hits() const { return getHitsCtr.value(); }
+    std::uint64_t sets() const { return setOpsCtr.value(); }
+    std::uint64_t bytesCopied() const { return copiedBytesCtr.value(); }
     /// @}
 
   private:
+    /** Delegate binding the op counters under one minicache<N>.
+     * scope. */
+    MiniCache(Platform &p, AddressSpace &space, Dto &dto,
+              const Config &cfg, const std::string &scope);
+
     struct Item
     {
         Addr addr = 0;
@@ -89,10 +96,13 @@ class MiniCache
     std::vector<std::vector<Addr>> freelists;
     std::uint64_t usedBytes = 0;
     std::uint64_t evicted = 0;
-    std::uint64_t getOps = 0;
-    std::uint64_t getHits = 0;
-    std::uint64_t setOps = 0;
-    std::uint64_t copiedBytes = 0;
+
+    // Registry-backed operation counters (bound in the constructor
+    // under a fresh minicache<N>. scope).
+    stats::Counter &getOpsCtr;
+    stats::Counter &getHitsCtr;
+    stats::Counter &setOpsCtr;
+    stats::Counter &copiedBytesCtr;
 };
 
 } // namespace dsasim::apps

@@ -128,6 +128,10 @@ class Executor
 
     const ExecutorConfig &config() const { return cfg; }
 
+    /** The simulation this executor schedules on (e.g. for
+     * registering telemetry against its stats registry). */
+    Simulation &simulation() { return sim; }
+
     /// @name Descriptor factories.
     /// All take virtual addresses in @p as and default to
     /// cache-control = on, block-on-fault = on.

@@ -177,9 +177,12 @@ class TenantSession
 class ServingNode
 {
   public:
-    ServingNode(Simulation &s, Executor &e, ServingConfig c = {})
-        : cfg(c), sim(s), ex(e)
-    {}
+    /**
+     * Registers this node's telemetry under a fresh serving<N>.
+     * scope: ladder-event counters summed across tenants and the
+     * p99/p999 request-latency histogram (DESIGN.md §15).
+     */
+    ServingNode(Simulation &s, Executor &e, ServingConfig c = {});
 
     TenantSession &
     addTenant(Pasid pasid, Core &core, DsaDevice &dev, WorkQueue &wq,
@@ -228,6 +231,11 @@ class ServingNode
     Simulation &sim;
     Executor &ex;
     std::vector<std::unique_ptr<TenantSession>> tenants;
+
+    /** Fixed-bucket request-latency histogram (µs, exponential
+     * bounds) in the telemetry registry; the exact-tail reservoir
+     * stays in TenantStats::latencyUs. */
+    stats::Histogram &latencyHist;
 };
 
 } // namespace dsasim::dml

@@ -136,6 +136,15 @@ class SocketCluster
      */
     void restore(const ClusterSnapshot &snap);
 
+    /**
+     * Fold every domain's telemetry registry into one combined view
+     * with "socket<d>." name prefixes, in domain-id order — the
+     * cluster-wide export is deterministic for any worker-thread
+     * count (DESIGN.md §15). Call after run() returns (the fold
+     * evaluates supplier-backed metrics, so domains must be at rest).
+     */
+    stats::Registry foldedStats() const; // simlint:observer
+
   private:
     struct SocketDomain
     {

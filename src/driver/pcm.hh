@@ -5,9 +5,15 @@
  * hardware performance counters, PCM is able to observe the
  * inbound-outbound traffic and request count on each DSA instance").
  *
- * Counters here come from the device model's own accounting; the
- * Monitor provides point-in-time snapshots and interval deltas, the
- * way `pcm-accel` samples MMIO counter registers.
+ * Since DESIGN.md §15 the authoritative counters live in the
+ * simulation's stats::Registry under stable dotted names
+ * (dsa<N>.descriptors_submitted, dsa<N>.eng<E>.bytes_read, ...).
+ * The Monitor is a *view* over that registry: sample() resolves the
+ * device's metric names and folds the per-engine counters, the way
+ * `pcm-accel` reads MMIO counter registers and sums per-engine
+ * event counts. DsaCounters and format() keep their original shape
+ * (and byte-identical output) for existing callers; new code should
+ * prefer the registry / stats::Sampler directly.
  */
 
 #ifndef DSASIM_DRIVER_PCM_HH
@@ -22,7 +28,10 @@
 namespace dsasim::pcm
 {
 
-/** One DSA instance's counters at a point in simulated time. */
+/**
+ * One DSA instance's counters at a point in simulated time — a
+ * point-in-time view of the dsa<N>.* registry names.
+ */
 struct DsaCounters
 {
     int deviceId = 0;
@@ -55,25 +64,32 @@ class Monitor
   public:
     explicit Monitor(Platform &p) : platform(p) {}
 
-    /** Snapshot one device's counters. */
+    /** Snapshot one device's counters from the registry. */
     // simlint:observer
     DsaCounters
     sample(std::size_t device_idx) const
     {
         const Platform &plat = platform;
         const DsaDevice &dev = plat.dsa(device_idx);
+        const stats::Registry &reg = plat.sim().stats();
+        const std::string stem =
+            "dsa" + std::to_string(dev.deviceId()) + ".";
         DsaCounters c;
         c.deviceId = dev.deviceId();
         c.when = plat.sim().now();
-        c.descriptorsSubmitted = dev.descriptorsSubmitted;
-        c.descriptorsRetried = dev.descriptorsRetried;
+        c.descriptorsSubmitted =
+            reg.counterValue(stem + "descriptors_submitted");
+        c.descriptorsRetried =
+            reg.counterValue(stem + "descriptors_retried");
         c.descriptorsProcessed = dev.descriptorsProcessed();
         for (std::size_t e = 0; e < dev.engineCount(); ++e) {
-            const Engine &eng = dev.engine(e);
-            c.inboundBytes += eng.bytesRead;
-            c.outboundBytes += eng.bytesWritten;
-            c.pageFaults += eng.pageFaults;
-            c.atcMisses += eng.atcMisses;
+            const std::string eng =
+                stem + "eng" +
+                std::to_string(dev.engine(e).engineId()) + ".";
+            c.inboundBytes += reg.counterValue(eng + "bytes_read");
+            c.outboundBytes += reg.counterValue(eng + "bytes_written");
+            c.pageFaults += reg.counterValue(eng + "page_faults");
+            c.atcMisses += reg.counterValue(eng + "atc_misses");
         }
         return c;
     }

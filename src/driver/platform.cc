@@ -1,5 +1,7 @@
 #include "driver/platform.hh"
 
+#include <atomic>
+
 #include "sim/logging.hh"
 
 namespace dsasim
@@ -114,6 +116,27 @@ Platform::Platform(Simulation &s, const PlatformConfig &cfg)
     }
     // Opt-in chaos: DSASIM_FAULTS seeds a platform-wide injector.
     setFaultInjector(FaultInjector::fromEnv());
+
+    // Opt-in telemetry: DSASIM_STATS installs the deterministic
+    // registry poller. One hook per calendar — in multi-platform
+    // setups (rare outside tests) the first platform samples.
+    if (stats::samplingEnabled() && !s.hasSampleHook()) {
+        static std::atomic<unsigned> instance{0};
+        const unsigned n = instance.fetch_add(1);
+        statsExportStem =
+            stats::exportPrefix() + cfg.name +
+            (n == 0 ? std::string{} : "-" + std::to_string(n));
+        statsSampler = std::make_unique<stats::Sampler>(
+            s, stats::samplePeriodTicks());
+    }
+}
+
+Platform::~Platform()
+{
+    if (statsSampler && statsSampler->sampleCount() > 0) {
+        statsSampler->writeCsv(statsExportStem + ".csv");
+        statsSampler->writePrometheusFile(statsExportStem + ".prom");
+    }
 }
 
 bool
@@ -231,9 +254,9 @@ Platform::dumpStats(std::FILE *out) const
                      "processed %8llu rd %10.2f MB wr %10.2f MB\n",
                      d->deviceId(),
                      static_cast<unsigned long long>(
-                         d->descriptorsSubmitted),
+                         d->descriptorsSubmitted()),
                      static_cast<unsigned long long>(
-                         d->descriptorsRetried),
+                         d->descriptorsRetried()),
                      static_cast<unsigned long long>(
                          d->descriptorsProcessed()),
                      static_cast<double>(

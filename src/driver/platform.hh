@@ -64,7 +64,15 @@ struct PlatformConfig
 class Platform
 {
   public:
+    /**
+     * When $DSASIM_STATS is set (sim/stats.hh knobs) the platform
+     * installs a stats::Sampler on @p s at construction and writes
+     * the recorded series to <prefix><name>.csv plus the final
+     * snapshot to <prefix><name>.prom at destruction. Only the first
+     * platform on a simulation samples (one hook per calendar).
+     */
     Platform(Simulation &s, const PlatformConfig &cfg);
+    ~Platform();
 
     Simulation &sim() { return simulation; }
     const Simulation &sim() const { return simulation; }
@@ -147,6 +155,12 @@ class Platform
     std::vector<std::unique_ptr<DsaDevice>> dsas_;
     std::vector<std::unique_ptr<CbdmaDevice>> cbdmas_;
     std::unique_ptr<FaultInjector> faultInjector;
+
+    /** Export basename (disambiguated across instances) and the
+     * deterministic-cadence registry poller; null when $DSASIM_STATS
+     * is off or another platform already samples this simulation. */
+    std::string statsExportStem;
+    std::unique_ptr<stats::Sampler> statsSampler;
 };
 
 } // namespace dsasim

@@ -16,7 +16,14 @@ DsaDevice::DsaDevice(Simulation &s, MemSystem &ms, const DsaParams &p,
                                 ".fabric.rd"),
       fabricWr(s, p.fabricGBps, "dsa" + std::to_string(device_id) +
                                 ".fabric.wr"),
-      hangReleaseTrig(std::make_unique<Trigger>(s))
+      hangReleaseTrig(std::make_unique<Trigger>(s)),
+      descriptorsSubmittedCtr(s.stats().counter(
+          "dsa" + std::to_string(device_id) +
+              ".descriptors_submitted",
+          "descriptors accepted into a WQ on this device")),
+      descriptorsRetriedCtr(s.stats().counter(
+          "dsa" + std::to_string(device_id) + ".descriptors_retried",
+          "ENQCMD retries (SWQ at threshold or admission throttle)"))
 {}
 
 Group &
@@ -52,6 +59,21 @@ DsaDevice::addWorkQueue(Group &grp, WorkQueue::Mode mode, unsigned size,
         threshold));
     wqs.back()->group = &grp;
     grp.attach(wqs.back().get());
+    // Telemetry: supplier-backed views over the WQ's own state —
+    // depth as a live gauge, accept/reject totals as counters.
+    WorkQueue *q = wqs.back().get();
+    const std::string prefix = "dsa" + std::to_string(id) + ".wq" +
+                               std::to_string(q->id) + ".";
+    simulation.stats().gauge(
+        prefix + "depth", "descriptors currently queued",
+        [q] { return static_cast<double>(q->occupancy()); });
+    simulation.stats().counter(
+        prefix + "accepted", "descriptors accepted by this WQ",
+        [q] { return q->accepted; });
+    simulation.stats().counter(
+        prefix + "rejected",
+        "descriptors rejected or retried at this WQ's portal",
+        [q] { return q->rejected; });
     return *wqs.back();
 }
 
@@ -175,6 +197,17 @@ DsaDevice::abortHung()
     hangReleaseTrig->reset();
 }
 
+void
+DsaDevice::installAdmission(std::size_t qid, WqAdmission *adm)
+{
+    WorkQueue &q = wq(qid);
+    q.admission = adm;
+    if (adm) {
+        adm->registerStats(simulation.stats(),
+                           strfmt("dsa%d.wq%d.qos.", id, q.id));
+    }
+}
+
 DsaDevice::SubmitStatus
 DsaDevice::submit(WorkQueue &wq, const WorkDescriptor &d)
 {
@@ -203,7 +236,7 @@ DsaDevice::submit(WorkQueue &wq, const WorkDescriptor &d)
         auto v = wq.admission->admit(d.pasid, simulation.now(),
                                      wq.occupancy(), wq.threshold);
         if (v != WqAdmission::Verdict::Admit) {
-            ++descriptorsRetried;
+            descriptorsRetriedCtr.inc();
             return SubmitStatus::Retry;
         }
     }
@@ -227,13 +260,13 @@ DsaDevice::submit(WorkQueue &wq, const WorkDescriptor &d)
         }
         // ENQCMD reports retry (at the configured admission
         // threshold).
-        ++descriptorsRetried;
+        descriptorsRetriedCtr.inc();
         ++wq.rejected;
         return SubmitStatus::Retry;
     }
     bool ok = wq.enqueue(d, simulation.now());
     panic_if(!ok, "enqueue failed on non-full WQ");
-    ++descriptorsSubmitted;
+    descriptorsSubmittedCtr.inc();
     Group *grp = wq.group;
     simulation.scheduleIn(cfg.dispatchLatency,
                           [grp] { grp->signalWork(); });
@@ -254,7 +287,7 @@ DsaDevice::bytesProcessed() const
 {
     std::uint64_t n = 0;
     for (const auto &e : engines)
-        n += e->bytesRead + e->bytesWritten;
+        n += e->bytesRead() + e->bytesWritten();
     return n;
 }
 
@@ -284,8 +317,6 @@ DsaDevice::saveState() const
     State st;
     st.enabled = isEnabled;
     st.epoch = epoch;
-    st.descriptorsSubmitted = descriptorsSubmitted;
-    st.descriptorsRetried = descriptorsRetried;
     st.descriptorsAborted = descriptorsAborted;
     st.dwqOverflows = dwqOverflows;
     st.submitsWhileDisabled = submitsWhileDisabled;
@@ -323,8 +354,6 @@ DsaDevice::restoreState(const State &st)
              "flag)",
              id);
     epoch = st.epoch;
-    descriptorsSubmitted = st.descriptorsSubmitted;
-    descriptorsRetried = st.descriptorsRetried;
     descriptorsAborted = st.descriptorsAborted;
     dwqOverflows = st.dwqOverflows;
     submitsWhileDisabled = st.submitsWhileDisabled;

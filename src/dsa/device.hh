@@ -109,6 +109,14 @@ class DsaDevice
     };
 
     SubmitStatus submit(WorkQueue &wq, const WorkDescriptor &d);
+
+    /**
+     * Attach @p adm as work queue @p qid's admission policy and
+     * publish its verdict counters under dsa<id>.wq<qid>.qos. in the
+     * simulation's telemetry registry. Install each policy at most
+     * once per queue (re-registration of the same names is fatal).
+     */
+    void installAdmission(std::size_t qid, WqAdmission *adm);
     /// @}
 
     /// @name Introspection.
@@ -132,15 +140,26 @@ class DsaDevice
     /// @}
 
     /// @name Aggregate statistics.
+    /// The submission counters live in the telemetry registry
+    /// (dsa<D>.*, DESIGN.md §15); the rest are plain bookkeeping
+    /// fields.
     /// @{
-    std::uint64_t descriptorsSubmitted = 0;
-    std::uint64_t descriptorsRetried = 0;
     std::uint64_t descriptorsAborted = 0;  ///< flushed or abort-published
     std::uint64_t dwqOverflows = 0;        ///< MOVDIR64B drops detected
     std::uint64_t submitsWhileDisabled = 0;
     std::uint64_t injectedRejects = 0;     ///< forced WqReject fires
     std::uint64_t resets = 0;              ///< disable() invocations
 
+    std::uint64_t
+    descriptorsSubmitted() const
+    {
+        return descriptorsSubmittedCtr.value();
+    }
+    std::uint64_t
+    descriptorsRetried() const
+    {
+        return descriptorsRetriedCtr.value();
+    }
     std::uint64_t descriptorsProcessed() const;
     std::uint64_t bytesProcessed() const;
     /// @}
@@ -165,8 +184,6 @@ class DsaDevice
     {
         bool enabled = false;
         std::uint64_t epoch = 0;
-        std::uint64_t descriptorsSubmitted = 0;
-        std::uint64_t descriptorsRetried = 0;
         std::uint64_t descriptorsAborted = 0;
         std::uint64_t dwqOverflows = 0;
         std::uint64_t submitsWhileDisabled = 0;
@@ -205,6 +222,10 @@ class DsaDevice
     LinkResource fabricWr;
     std::unique_ptr<Trigger> hangReleaseTrig;
     FaultInjector *faultInjector = nullptr;
+
+    // Registry-backed submission counters (bound in the constructor).
+    stats::Counter &descriptorsSubmittedCtr;
+    stats::Counter &descriptorsRetriedCtr;
 };
 
 } // namespace dsasim

@@ -50,8 +50,38 @@ constexpr std::size_t scratchChunk = 256 * 1024;
 } // namespace
 
 Engine::Engine(DsaDevice &device, Group &grp, int engine_id)
-    : dev(device), group(grp), id(engine_id)
-{}
+    : dev(device), group(grp), id(engine_id),
+      bytesReadCtr(device.sim().stats().counter(
+          strfmt("dsa%d.eng%d.bytes_read", device.deviceId(),
+                 engine_id),
+          "bytes this PE read from memory")),
+      bytesWrittenCtr(device.sim().stats().counter(
+          strfmt("dsa%d.eng%d.bytes_written", device.deviceId(),
+                 engine_id),
+          "bytes this PE wrote to memory")),
+      pageFaultsCtr(device.sim().stats().counter(
+          strfmt("dsa%d.eng%d.page_faults", device.deviceId(),
+                 engine_id),
+          "page faults taken by this PE's translations")),
+      atcMissesCtr(device.sim().stats().counter(
+          strfmt("dsa%d.eng%d.atc_misses", device.deviceId(),
+                 engine_id),
+          "device-ATC misses on this PE's translations"))
+{
+    // PE utilization: busy time over wall simulated time. A
+    // supplier-backed gauge — evaluated only when a sampler or
+    // exporter reads it.
+    Simulation &s = device.sim();
+    s.stats().gauge(
+        strfmt("dsa%d.eng%d.utilization", device.deviceId(),
+               engine_id),
+        "fraction of simulated time this PE was busy", [this, &s] {
+            const Tick t = s.now();
+            return t == 0 ? 0.0
+                          : static_cast<double>(busyTicks) /
+                                static_cast<double>(t);
+        });
+}
 
 void
 Engine::start()
@@ -100,11 +130,11 @@ Engine::translateRange(AddressSpace &as, Addr va, std::uint64_t len,
         if (dev.atc().lookup(pasid, m->vaBase) && m->present) {
             out.walkCost += p.atcHitLatency;
         } else {
-            ++atcMisses;
+            atcMissesCtr.inc();
             auto res = iommu.translate(as.pageTable(), pasid, cursor,
                                        block_on_fault);
             if (res.faulted) {
-                ++pageFaults;
+                pageFaultsCtr.inc();
                 if (!res.ok) {
                     // Not resolved (block-on-fault = 0): partial
                     // completion at this offset.
@@ -762,7 +792,7 @@ Engine::process(Work w)
                                 link_end,
                                 mem.llcLink().occupy(sr.hitBytes));
                         }
-                        bytesRead += seg;
+                        bytesReadCtr.add(seg);
                     } else {
                         // Allocating (DDIO) fill or non-allocating
                         // eviction, per the cache-control hint; the
@@ -792,7 +822,7 @@ Engine::process(Work w)
                                 mem.node(vn).writeLink.occupy(
                                     evict_wb));
                         }
-                        bytesWritten += seg;
+                        bytesWrittenCtr.add(seg);
                     }
                     cursor += seg;
                     left -= seg;

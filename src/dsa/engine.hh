@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dsa/group.hh"
+#include "sim/stats.hh"
 #include "sim/task.hh"
 
 namespace dsasim
@@ -34,34 +35,45 @@ class Engine
     int engineId() const { return id; }
 
     /// @name Statistics.
+    /// The data-path counters live in the telemetry registry
+    /// (dsa<D>.eng<E>.*, DESIGN.md §15) and are read through the
+    /// const accessors below; only engine-lifecycle bookkeeping
+    /// stays as plain fields.
     /// @{
     std::uint64_t descriptorsProcessed = 0;
     std::uint64_t batchesProcessed = 0;
-    std::uint64_t bytesRead = 0;
-    std::uint64_t bytesWritten = 0;
-    std::uint64_t pageFaults = 0;
-    std::uint64_t atcMisses = 0;
     std::uint64_t hangs = 0;          ///< injected engine hangs
     std::uint64_t injectedErrors = 0; ///< injected hw error statuses
     Tick busyTicks = 0;
     Tick stallTicks = 0; ///< time blocked on faults/translation
+
+    std::uint64_t bytesRead() const { return bytesReadCtr.value(); }
+    std::uint64_t
+    bytesWritten() const
+    {
+        return bytesWrittenCtr.value();
+    }
+    std::uint64_t
+    pageFaults() const
+    {
+        return pageFaultsCtr.value();
+    }
+    std::uint64_t atcMisses() const { return atcMissesCtr.value(); }
     /// @}
 
     /**
-     * Checkpointable (sim/checkpoint.hh): the statistics above. The
-     * processing loop itself is rebuild-time state — a quiesced
-     * engine is parked on its group's empty arbiter, exactly where a
-     * freshly start()ed engine parks — and the scratch buffers are
-     * dead outside a descriptor.
+     * Checkpointable (sim/checkpoint.hh): the plain statistics
+     * above. The registry-backed counters ride in
+     * Simulation::State.stats (saved by dotted name); the processing
+     * loop itself is rebuild-time state — a quiesced engine is
+     * parked on its group's empty arbiter, exactly where a freshly
+     * start()ed engine parks — and the scratch buffers are dead
+     * outside a descriptor.
      */
     struct State
     {
         std::uint64_t descriptorsProcessed = 0;
         std::uint64_t batchesProcessed = 0;
-        std::uint64_t bytesRead = 0;
-        std::uint64_t bytesWritten = 0;
-        std::uint64_t pageFaults = 0;
-        std::uint64_t atcMisses = 0;
         std::uint64_t hangs = 0;
         std::uint64_t injectedErrors = 0;
         Tick busyTicks = 0;
@@ -72,8 +84,6 @@ class Engine
     saveState() const
     {
         return State{descriptorsProcessed, batchesProcessed,
-                     bytesRead,            bytesWritten,
-                     pageFaults,           atcMisses,
                      hangs,                injectedErrors,
                      busyTicks,            stallTicks};
     }
@@ -83,10 +93,6 @@ class Engine
     {
         descriptorsProcessed = st.descriptorsProcessed;
         batchesProcessed = st.batchesProcessed;
-        bytesRead = st.bytesRead;
-        bytesWritten = st.bytesWritten;
-        pageFaults = st.pageFaults;
-        atcMisses = st.atcMisses;
         hangs = st.hangs;
         injectedErrors = st.injectedErrors;
         busyTicks = st.busyTicks;
@@ -139,6 +145,14 @@ class Engine
     DsaDevice &dev;
     Group &group;
     const int id;
+
+    // Registry-backed data-path counters (bound in the constructor;
+    // mutated only through the Counter API — simlint's
+    // counter-mutation rule enforces this).
+    stats::Counter &bytesReadCtr;
+    stats::Counter &bytesWrittenCtr;
+    stats::Counter &pageFaultsCtr;
+    stats::Counter &atcMissesCtr;
 
     // Per-engine staging buffers for the few operations that cannot
     // run zero-copy (overlapping copies, non-contiguous delta/DIF

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/stats.hh"
+
 namespace dsasim
 {
 
@@ -81,6 +83,21 @@ WqAdmission::admit(Pasid tenant, Tick now, std::size_t occupancy,
     ++e.stats.admitted;
     ++totalAdmitted;
     return Verdict::Admit;
+}
+
+void
+WqAdmission::registerStats(stats::Registry &reg,
+                           const std::string &prefix) const
+{
+    reg.counter(prefix + "admitted",
+                "submissions passed through to the portal",
+                [this] { return totalAdmitted; });
+    reg.counter(prefix + "throttled",
+                "submissions bounced by a tenant token bucket",
+                [this] { return totalThrottled; });
+    reg.counter(prefix + "busy",
+                "submissions bounced at a class occupancy limit",
+                [this] { return totalBusy; });
 }
 
 const WqAdmission::TenantStats &

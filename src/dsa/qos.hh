@@ -30,12 +30,15 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "mem/types.hh"
 #include "sim/ticks.hh"
 
 namespace dsasim
 {
+
+namespace stats { class Registry; }
 
 /** Integer-exact token bucket (tokens = submission credits). */
 class TokenBucket
@@ -164,6 +167,14 @@ class WqAdmission
     std::uint64_t totalAdmitted = 0;
     std::uint64_t totalThrottled = 0;
     std::uint64_t totalBusy = 0;
+
+    /**
+     * Publish this policy's aggregate verdict counters in @p reg
+     * under @p prefix (e.g. "socket0.dsa0.wq0.qos."): admitted /
+     * throttled / busy as supplier-backed counters (DESIGN.md §15).
+     */
+    void registerStats(stats::Registry &reg,
+                       const std::string &prefix) const;
     /// @}
 
     const Config &config() const { return cfg; }

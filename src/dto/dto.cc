@@ -3,6 +3,31 @@
 namespace dsasim
 {
 
+Dto::Dto(dml::Executor &exec, SwKernels &k, Config cfg)
+    : Dto(exec, k, cfg,
+          exec.simulation().stats().scope("dto") + ".")
+{}
+
+Dto::Dto(dml::Executor &exec, SwKernels &k, Config cfg,
+         const std::string &scope)
+    : executor(exec), kernels(k), config(cfg),
+      fallbackPageFaultCtr(exec.simulation().stats().counter(
+          scope + "fallback_page_fault",
+          "offloads redone on CPU after a partial completion")),
+      fallbackHwErrorCtr(exec.simulation().stats().counter(
+          scope + "fallback_hw_error",
+          "offloads redone on CPU after a read/write/decode error")),
+      fallbackAbortedCtr(exec.simulation().stats().counter(
+          scope + "fallback_aborted",
+          "offloads redone on CPU after a reset/watchdog abort")),
+      fallbackQueueCtr(exec.simulation().stats().counter(
+          scope + "fallback_queue",
+          "offloads redone on CPU after WQ overflow or queue-full")),
+      fallbackOtherCtr(exec.simulation().stats().counter(
+          scope + "fallback_other",
+          "offloads redone on CPU for any other cause"))
+{}
+
 CoTask
 Dto::dispatch(Core &core, WorkDescriptor d, std::uint64_t n,
               int *cmp_result)
@@ -26,22 +51,22 @@ Dto::dispatch(Core &core, WorkDescriptor d, std::uint64_t n,
         using St = CompletionRecord::Status;
         switch (res.status) {
           case St::PageFault:
-            ++fallbackPageFault;
+            fallbackPageFaultCtr.inc();
             break;
           case St::ReadError:
           case St::WriteError:
           case St::DecodeError:
-            ++fallbackHwError;
+            fallbackHwErrorCtr.inc();
             break;
           case St::Aborted:
-            ++fallbackAborted;
+            fallbackAbortedCtr.inc();
             break;
           case St::WqOverflow:
           case St::QueueFull:
-            ++fallbackQueue;
+            fallbackQueueCtr.inc();
             break;
           default:
-            ++fallbackOther;
+            fallbackOtherCtr.inc();
             break;
         }
     }

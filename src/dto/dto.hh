@@ -15,8 +15,10 @@
 #define DSASIM_DTO_DTO_HH
 
 #include <cstdint>
+#include <string>
 
 #include "dml/dml.hh"
+#include "sim/stats.hh"
 
 namespace dsasim
 {
@@ -32,9 +34,7 @@ class Dto
         bool cacheControl = true;
     };
 
-    Dto(dml::Executor &exec, SwKernels &k, Config cfg)
-        : executor(exec), kernels(k), config(cfg)
-    {}
+    Dto(dml::Executor &exec, SwKernels &k, Config cfg);
 
     Dto(dml::Executor &exec, SwKernels &k)
         : Dto(exec, k, Config{})
@@ -62,22 +62,56 @@ class Dto
     std::uint64_t bytesOnCpu = 0;
 
     /// @name Fallback causes (each fallback counts exactly once).
+    /// Registry counters under this instance's dto<N>. scope
+    /// (DESIGN.md §15), read through the const accessors.
     /// @{
-    std::uint64_t fallbackPageFault = 0; ///< partial completion
-    std::uint64_t fallbackHwError = 0;   ///< read/write/decode error
-    std::uint64_t fallbackAborted = 0;   ///< reset/watchdog abort
-    std::uint64_t fallbackQueue = 0;     ///< overflow / queue-full
-    std::uint64_t fallbackOther = 0;     ///< unsupported, batch error
+    std::uint64_t
+    fallbackPageFault() const ///< partial completion
+    {
+        return fallbackPageFaultCtr.value();
+    }
+    std::uint64_t
+    fallbackHwError() const ///< read/write/decode error
+    {
+        return fallbackHwErrorCtr.value();
+    }
+    std::uint64_t
+    fallbackAborted() const ///< reset/watchdog abort
+    {
+        return fallbackAbortedCtr.value();
+    }
+    std::uint64_t
+    fallbackQueue() const ///< overflow / queue-full
+    {
+        return fallbackQueueCtr.value();
+    }
+    std::uint64_t
+    fallbackOther() const ///< unsupported, batch error
+    {
+        return fallbackOtherCtr.value();
+    }
     /// @}
     /// @}
 
   private:
+    /** Delegate binding the cause counters under one dto<N>. scope. */
+    Dto(dml::Executor &exec, SwKernels &k, Config cfg,
+        const std::string &scope);
+
     CoTask dispatch(Core &core, WorkDescriptor d, std::uint64_t n,
                     int *cmp_result);
 
     dml::Executor &executor;
     SwKernels &kernels;
     Config config;
+
+    // Registry-backed fallback-cause counters (bound in the
+    // constructor under a fresh dto<N>. scope).
+    stats::Counter &fallbackPageFaultCtr;
+    stats::Counter &fallbackHwErrorCtr;
+    stats::Counter &fallbackAbortedCtr;
+    stats::Counter &fallbackQueueCtr;
+    stats::Counter &fallbackOtherCtr;
 };
 
 } // namespace dsasim

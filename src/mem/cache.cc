@@ -173,12 +173,16 @@ CacheModel::cpuAccess(Addr pa, int owner, bool is_write)
     AccessResult result;
     if (Line *l = find(pa)) {
         result.hit = true;
+        hitBytesTally += cacheLineSize;
         l->lastUse = ++useClock;
         l->dirty = l->dirty || is_write;
         retagOwner(*l, owner);
         return result;
     }
+    missBytesTally += cacheLineSize;
     installLine(victim(pa, 0, config.ways), pa, owner, is_write, result);
+    if (result.evictedDirty)
+        writebackBytesTally += cacheLineSize;
     return result;
 }
 
@@ -188,7 +192,10 @@ CacheModel::deviceRead(Addr pa)
     AccessResult result;
     if (Line *l = find(pa)) {
         result.hit = true;
+        hitBytesTally += cacheLineSize;
         l->lastUse = ++useClock;
+    } else {
+        missBytesTally += cacheLineSize;
     }
     return result;
 }
@@ -206,14 +213,18 @@ CacheModel::deviceWrite(Addr pa, int owner, bool alloc_hint)
     }
     if (Line *l = find(pa)) {
         result.hit = true;
+        hitBytesTally += cacheLineSize;
         l->lastUse = ++useClock;
         l->dirty = true;
         retagOwner(*l, owner);
         return result;
     }
     // DDIO-style allocating write: restricted to the DDIO ways.
+    missBytesTally += cacheLineSize;
     unsigned hi = config.ddioWays > 0 ? config.ddioWays : config.ways;
     installLine(victim(pa, 0, hi), pa, owner, true, result);
+    if (result.evictedDirty)
+        writebackBytesTally += cacheLineSize;
     return result;
 }
 
@@ -254,6 +265,8 @@ CacheModel::probeSpan(Addr pa, std::uint64_t size)
         if (++set == sets)
             set = 0;
     }
+    hitBytesTally += r.hitBytes;
+    missBytesTally += r.missBytes;
     return r;
 }
 
@@ -312,6 +325,9 @@ CacheModel::fillSpan(Addr pa, std::uint64_t size, int owner)
         if (++set == sets)
             set = 0;
     }
+    hitBytesTally += r.hitBytes;
+    missBytesTally += r.missBytes;
+    writebackBytesTally += r.writebackBytes;
     return r;
 }
 
@@ -382,6 +398,7 @@ CacheModel::flushSpan(Addr pa, std::uint64_t size)
         if (++set == sets)
             set = 0;
     }
+    writebackBytesTally += r.writebackBytes;
     return r;
 }
 
@@ -403,6 +420,8 @@ CacheModel::flushLine(Addr pa)
 {
     if (Line *l = find(pa)) {
         bool was_dirty = l->dirty;
+        if (was_dirty)
+            writebackBytesTally += cacheLineSize;
         dropLine(*l);
         return was_dirty;
     }
@@ -430,6 +449,9 @@ CacheModel::saveState() const
 {
     State st;
     st.useClock = useClock;
+    st.hitBytes = hitBytesTally;
+    st.missBytes = missBytesTally;
+    st.writebackBytes = writebackBytesTally;
     st.validLines.reserve(validLines);
     for (std::uint64_t i = 0; i < lines.size(); ++i) {
         if (lineValid(lines[i]))
@@ -446,6 +468,9 @@ CacheModel::restoreState(const State &st)
     ownerLines.clear();
     flushEpoch = 0;
     useClock = st.useClock;
+    hitBytesTally = st.hitBytes;
+    missBytesTally = st.missBytes;
+    writebackBytesTally = st.writebackBytes;
     validLines = st.validLines.size();
     for (const auto &[idx, saved] : st.validLines) {
         panic_if(idx >= lines.size(),

@@ -182,6 +182,21 @@ class CacheModel
                cacheLineSize;
     }
 
+    /// @name Cumulative traffic tallies (telemetry, DESIGN.md §15).
+    /// Identical in Batched and Line accounting modes: scalar ops
+    /// tally themselves, batched span bodies tally their aggregate
+    /// result (the Line-mode span loops route through the scalar
+    /// ops). MemSystem exposes these as llc.* registry counters.
+    /// @{
+    std::uint64_t hitBytesTotal() const { return hitBytesTally; }
+    std::uint64_t missBytesTotal() const { return missBytesTally; }
+    std::uint64_t
+    writebackBytesTotal() const
+    {
+        return writebackBytesTally;
+    }
+    /// @}
+
     /** Directory line; public only for Checkpointable::State. */
     struct Line
     {
@@ -205,6 +220,9 @@ class CacheModel
     {
         std::vector<std::pair<std::uint64_t, Line>> validLines;
         std::uint64_t useClock = 0;
+        std::uint64_t hitBytes = 0;
+        std::uint64_t missBytes = 0;
+        std::uint64_t writebackBytes = 0;
     };
 
     State saveState() const;
@@ -271,6 +289,9 @@ class CacheModel
     std::uint64_t validLines = 0;
     std::uint64_t useClock = 0;
     std::uint64_t flushEpoch = 0;
+    std::uint64_t hitBytesTally = 0;
+    std::uint64_t missBytesTally = 0;
+    std::uint64_t writebackBytesTally = 0;
 };
 
 } // namespace dsasim

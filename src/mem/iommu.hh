@@ -57,6 +57,7 @@ class Iommu
     Result
     translate(PageTable &pt, Pasid pasid, Addr va, bool resolve_fault)
     {
+        ++translations;
         Result res;
         auto m = pt.lookup(va);
         if (!m) {
@@ -108,12 +109,13 @@ class Iommu
     {
         TranslationCache::State iotlb;
         std::uint64_t injectedFaults = 0;
+        std::uint64_t translations = 0;
     };
 
     State
     saveState() const
     {
-        return State{iotlb.saveState(), injectedFaults};
+        return State{iotlb.saveState(), injectedFaults, translations};
     }
 
     void
@@ -121,6 +123,7 @@ class Iommu
     {
         iotlb.restoreState(st.iotlb);
         injectedFaults = st.injectedFaults;
+        translations = st.translations;
     }
 
     /// @name Fault injection (optional; nullptr = fault-free).
@@ -128,6 +131,9 @@ class Iommu
     void setFaultInjector(FaultInjector *fi) { faultInjector = fi; }
     std::uint64_t injectedFaults = 0;
     /// @}
+
+    /** Device-side translation requests served (telemetry). */
+    std::uint64_t translations = 0;
 
   private:
     IommuConfig config;

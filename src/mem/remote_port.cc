@@ -18,6 +18,18 @@ RemotePort::RemotePort(Simulation &src_sim,
              "RemotePort '%s': zero wire latency (the partition "
              "lookahead would vanish)",
              name.c_str());
+    // Telemetry: UPI link traffic as supplier-backed counters under
+    // the port's own name (e.g. upi.s0-s1.bytes_pushed).
+    stats::Registry &reg = src_sim.stats();
+    reg.counter(name + ".bytes_pushed",
+                "bytes pushed to the remote socket over this port",
+                [this] { return pushed; });
+    reg.counter(name + ".bytes_pulled",
+                "bytes pulled from the remote socket over this port",
+                [this] { return pulled; });
+    reg.counter(name + ".round_trips",
+                "request/ack round trips over this port",
+                [this] { return trips; });
 }
 
 void

@@ -165,6 +165,16 @@ Simulation::step(Tick horizon)
         freeSlot(k.idx);
         fn();
     }
+    // Telemetry sampling piggybacks on event dispatch: no event is
+    // scheduled, no sequence number is consumed, nothing is mixed
+    // into the stream hash, so the fingerprint is identical at any
+    // period — or with sampling off entirely.
+    if (samplePeriod != 0 && currentTick >= nextSampleAt)
+        [[unlikely]] {
+        nextSampleAt =
+            currentTick - currentTick % samplePeriod + samplePeriod;
+        sampleHook();
+    }
     return true;
 }
 
@@ -185,7 +195,7 @@ Simulation::saveState() const
              "(run until idle, or co_await Platform::quiesce())",
              static_cast<unsigned long long>(pendingCount));
     return State{currentTick, nextSeq, executedCount, hashState,
-                 hashEnabled};
+                 hashEnabled, statsRegistry.saveState()};
 }
 
 void
@@ -207,6 +217,12 @@ Simulation::restoreState(const State &st)
     // in the source simulation.
     curBucket = st.now >> bucketShift;
     stageLast = st.now;
+    // Keep the sampler's cadence anchored to absolute period
+    // boundaries across a restore, exactly as a cold run would be.
+    if (samplePeriod != 0)
+        nextSampleAt = currentTick - currentTick % samplePeriod +
+                       samplePeriod;
+    statsRegistry.restoreState(st.stats);
 }
 
 Tick

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "sim/callback.hh"
+#include "sim/stats.hh"
 #include "sim/ticks.hh"
 
 namespace dsasim
@@ -144,6 +145,63 @@ class Simulation
     bool idle() const { return pendingCount == 0; }
 
     /**
+     * The telemetry registry for this simulation (DESIGN.md §15).
+     * Components register their metrics here at construction time;
+     * samplers and exporters read it as pure observers.
+     */
+    stats::Registry &stats() { return statsRegistry; }
+    const stats::Registry &stats() const // simlint:observer
+    {
+        return statsRegistry;
+    }
+
+    /**
+     * Install the telemetry sample hook (stats::Sampler). The hook
+     * fires on the first event dispatch at-or-after each @p period
+     * boundary — after the event's effects, outside the event queue.
+     * It consumes no sequence numbers and mixes nothing into the
+     * stream hash, so any period (or none) leaves the event-stream
+     * fingerprint bit-identical: sampling observes the schedule the
+     * kernel was going to execute anyway.
+     */
+    void
+    setSampleHook(Tick period, Callback hook)
+    {
+        samplePeriod = period;
+        sampleHook = std::move(hook);
+        nextSampleAt =
+            period == 0 ? maxTick
+                        : currentTick - currentTick % period + period;
+    }
+
+    /**
+     * Retune the installed hook's cadence (the Sampler's bounded-
+     * memory decimation). A pure observer knob: no event is
+     * scheduled and nothing is hashed, so retuning mid-run leaves
+     * the event-stream fingerprint bit-identical.
+     */
+    void
+    setSamplePeriod(Tick period)
+    {
+        samplePeriod = period;
+        nextSampleAt =
+            period == 0 ? maxTick
+                        : currentTick - currentTick % period + period;
+    }
+
+    /** Remove the telemetry sample hook. */
+    void
+    clearSampleHook()
+    {
+        samplePeriod = 0;
+        nextSampleAt = maxTick;
+        sampleHook = Callback{};
+    }
+
+    /** Is a telemetry sample hook installed? (One per calendar.) */
+    bool hasSampleHook() const { return samplePeriod != 0; }
+
+    /**
      * Checkpointable (sim/checkpoint.hh). The kernel's snapshot is
      * the plain-data residue of a drained calendar: the clock, the
      * global sequence counter, and the stream-hash accumulator.
@@ -159,6 +217,8 @@ class Simulation
         std::uint64_t executed = 0;
         std::uint64_t hash = 0;
         bool hashOn = false;
+        /** Stored telemetry metrics, saved by dotted name. */
+        stats::Registry::State stats;
     };
 
     State saveState() const;
@@ -322,6 +382,17 @@ class Simulation
 
     bool hashEnabled = false;
     std::uint64_t hashState = 0xcbf29ce484222325ull;
+
+    /** Telemetry registry; owned here so every component with a
+     * Simulation reference can register without new plumbing. */
+    stats::Registry statsRegistry;
+    /** Telemetry sample hook (empty when no sampler installed). */
+    Callback sampleHook;
+    /** Sampling period in ticks; 0 disables the hook entirely. */
+    Tick samplePeriod = 0;
+    /** Next period boundary; the first dispatch at-or-after it
+     * fires the hook. maxTick when sampling is off. */
+    Tick nextSampleAt = maxTick;
 
     Tick currentTick = 0;
     /** Inclusive upper bound of the ticks covered by the stage. */

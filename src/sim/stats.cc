@@ -1,0 +1,734 @@
+/**
+ * @file
+ * Telemetry registry, deterministic sampler and exporters
+ * (DESIGN.md §15). See sim/stats.hh for the architecture.
+ */
+
+#include "sim/stats.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace dsasim
+{
+namespace stats
+{
+
+// --------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : ubounds(std::move(upper_bounds))
+{
+    for (std::size_t i = 1; i < ubounds.size(); ++i)
+        fatal_if(ubounds[i] <= ubounds[i - 1],
+                 "stats::Histogram: bucket bounds must be strictly "
+                 "ascending (%f then %f)",
+                 ubounds[i - 1], ubounds[i]);
+    counts.assign(ubounds.size() + 1, 0);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(n);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        const std::uint64_t prev = cum;
+        cum += counts[b];
+        if (static_cast<double>(cum) < target || counts[b] == 0)
+            continue;
+        if (b >= ubounds.size()) // +Inf bucket: clamp to last bound
+            return ubounds.empty() ? 0.0 : ubounds.back();
+        const double lo = b == 0 ? 0.0 : ubounds[b - 1];
+        const double hi = ubounds[b];
+        const double frac = (target - static_cast<double>(prev)) /
+                            static_cast<double>(counts[b]);
+        return lo + frac * (hi - lo);
+    }
+    return ubounds.empty() ? 0.0 : ubounds.back();
+}
+
+// --------------------------------------------------------------------
+// Registry
+
+Registry::Metric &
+Registry::add(const std::string &name, Kind kind,
+              const std::string &help)
+{
+    fatal_if(name.empty(), "stats::Registry: empty metric name");
+    auto [it, inserted] = metrics.try_emplace(name);
+    fatal_if(!inserted,
+             "stats::Registry: duplicate metric name '%s' (use "
+             "Registry::scope() for multi-instance components)",
+             name.c_str());
+    it->second.kind = kind;
+    it->second.help = help;
+    return it->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help)
+{
+    Metric &m = add(name, Kind::Counter, help);
+    if (auto it = pendingCounters.find(name);
+        it != pendingCounters.end()) {
+        m.ctr.cell = it->second;
+        pendingCounters.erase(it);
+    }
+    return m.ctr;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  std::function<std::uint64_t()> supplier)
+{
+    Metric &m = add(name, Kind::Counter, help);
+    m.ctr.fn = std::move(supplier);
+    // Supplier-backed views restore through their owning component;
+    // a parked value for this name is stale by definition.
+    pendingCounters.erase(name);
+    return m.ctr;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help)
+{
+    Metric &m = add(name, Kind::Gauge, help);
+    if (auto it = pendingGauges.find(name); it != pendingGauges.end()) {
+        m.gau.cell = it->second;
+        pendingGauges.erase(it);
+    }
+    return m.gau;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                std::function<double()> supplier)
+{
+    Metric &m = add(name, Kind::Gauge, help);
+    m.gau.fn = std::move(supplier);
+    pendingGauges.erase(name);
+    return m.gau;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    std::vector<double> upper_bounds)
+{
+    Metric &m = add(name, Kind::Histogram, help);
+    m.hist = Histogram(std::move(upper_bounds));
+    if (auto it = pendingHistograms.find(name);
+        it != pendingHistograms.end()) {
+        const HistogramState &hs = it->second;
+        fatal_if(hs.buckets.size() != m.hist.counts.size(),
+                 "stats::Registry: histogram '%s' restored with %zu "
+                 "buckets but registered with %zu",
+                 name.c_str(), hs.buckets.size(),
+                 m.hist.counts.size());
+        m.hist.counts = hs.buckets;
+        m.hist.n = hs.count;
+        m.hist.total = hs.sum;
+        pendingHistograms.erase(it);
+    }
+    return m.hist;
+}
+
+std::string
+Registry::scope(const std::string &stem)
+{
+    unsigned &n = scopes[stem];
+    return stem + std::to_string(n++);
+}
+
+bool
+Registry::has(const std::string &name) const // simlint:observer
+{
+    return metrics.find(name) != metrics.end();
+}
+
+std::uint64_t
+Registry::counterValue(const std::string &name) const // simlint:observer
+{
+    const auto it = metrics.find(name);
+    fatal_if(it == metrics.end(),
+             "stats::Registry: no metric named '%s'", name.c_str());
+    fatal_if(it->second.kind != Kind::Counter,
+             "stats::Registry: metric '%s' is not a counter",
+             name.c_str());
+    return it->second.ctr.value();
+}
+
+void
+Registry::sampleInto(Snapshot &snap) const // simlint:observer
+{
+    const bool rebuild = snap.entries.size() != metrics.size();
+    if (rebuild) {
+        snap.entries.clear();
+        snap.entries.resize(metrics.size());
+    }
+    std::size_t i = 0;
+    for (const auto &[name, m] : metrics) {
+        SnapshotEntry &e = snap.entries[i++];
+        if (rebuild || e.name != name) {
+            e.name = name;
+            e.help = m.help;
+            e.kind = m.kind;
+            e.bounds = m.hist.ubounds;
+        }
+        switch (m.kind) {
+          case Kind::Counter:
+            e.value = static_cast<double>(m.ctr.value());
+            break;
+          case Kind::Gauge:
+            e.value = m.gau.value();
+            break;
+          case Kind::Histogram:
+            e.value = static_cast<double>(m.hist.count());
+            e.sum = m.hist.sum();
+            e.buckets = m.hist.bucketCounts();
+            break;
+        }
+    }
+}
+
+Registry::Snapshot
+Registry::snapshot() const // simlint:observer
+{
+    Snapshot snap;
+    sampleInto(snap);
+    return snap;
+}
+
+void
+Registry::fold(const Registry &src, const std::string &prefix)
+{
+    // Upsert semantics: barrier-time folds overwrite the previous
+    // interval's copy. Supplier-backed sources are evaluated now and
+    // stored flat, so the folded view has no cross-domain references.
+    for (const auto &[name, m] : src.metrics) {
+        const std::string full = prefix + name;
+        auto it = metrics.find(full);
+        if (it == metrics.end()) {
+            it = metrics.try_emplace(full).first;
+            it->second.kind = m.kind;
+            it->second.help = m.help;
+        } else {
+            fatal_if(it->second.kind != m.kind,
+                     "stats::Registry::fold: metric '%s' changed "
+                     "kind across folds",
+                     full.c_str());
+        }
+        Metric &dst = it->second;
+        switch (m.kind) {
+          case Kind::Counter:
+            dst.ctr.cell = m.ctr.value();
+            break;
+          case Kind::Gauge:
+            dst.gau.cell = m.gau.value();
+            break;
+          case Kind::Histogram:
+            dst.hist.ubounds = m.hist.ubounds;
+            dst.hist.counts = m.hist.counts;
+            dst.hist.n = m.hist.n;
+            dst.hist.total = m.hist.total;
+            break;
+        }
+    }
+}
+
+Registry::State
+Registry::saveState() const
+{
+    State st;
+    for (const auto &[name, m] : metrics) {
+        switch (m.kind) {
+          case Kind::Counter:
+            if (!m.ctr.supplierBacked())
+                st.counters.emplace_back(name, m.ctr.cell);
+            break;
+          case Kind::Gauge:
+            if (!m.gau.supplierBacked())
+                st.gauges.emplace_back(name, m.gau.cell);
+            break;
+          case Kind::Histogram:
+            st.histograms.emplace_back(
+                name, HistogramState{m.hist.counts, m.hist.n,
+                                     m.hist.total});
+            break;
+        }
+    }
+    // Values restored before their metric registered still belong to
+    // the logical state (Snapshot::fork re-anchors the kernel before
+    // the platform re-registers); carry them forward. Names are
+    // disjoint from the live set — registration consumes the parked
+    // value — so a plain append keeps each vector name-sorted only
+    // after a merge; sort for a canonical order.
+    for (const auto &[name, v] : pendingCounters)
+        st.counters.emplace_back(name, v);
+    for (const auto &[name, v] : pendingGauges)
+        st.gauges.emplace_back(name, v);
+    for (const auto &[name, v] : pendingHistograms)
+        st.histograms.emplace_back(name, v);
+    auto byName = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(st.counters.begin(), st.counters.end(), byName);
+    std::sort(st.gauges.begin(), st.gauges.end(), byName);
+    std::sort(st.histograms.begin(), st.histograms.end(), byName);
+    return st;
+}
+
+void
+Registry::restoreState(const State &st)
+{
+    for (const auto &[name, v] : st.counters) {
+        const auto it = metrics.find(name);
+        if (it == metrics.end()) {
+            pendingCounters[name] = v;
+        } else if (it->second.kind == Kind::Counter &&
+                   !it->second.ctr.supplierBacked()) {
+            it->second.ctr.cell = v;
+        }
+    }
+    for (const auto &[name, v] : st.gauges) {
+        const auto it = metrics.find(name);
+        if (it == metrics.end()) {
+            pendingGauges[name] = v;
+        } else if (it->second.kind == Kind::Gauge &&
+                   !it->second.gau.supplierBacked()) {
+            it->second.gau.cell = v;
+        }
+    }
+    for (const auto &[name, hs] : st.histograms) {
+        const auto it = metrics.find(name);
+        if (it == metrics.end()) {
+            pendingHistograms[name] = hs;
+        } else if (it->second.kind == Kind::Histogram &&
+                   it->second.hist.counts.size() ==
+                       hs.buckets.size()) {
+            it->second.hist.counts = hs.buckets;
+            it->second.hist.n = hs.count;
+            it->second.hist.total = hs.sum;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Export knobs
+
+bool
+samplingEnabled()
+{
+    const char *v = std::getenv("DSASIM_STATS");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::string
+exportPrefix()
+{
+    const char *v = std::getenv("DSASIM_STATS");
+    if (v == nullptr || *v == '\0' || std::strcmp(v, "0") == 0)
+        return "";
+    if (std::strcmp(v, "1") == 0)
+        return "dsasim-stats-";
+    return v;
+}
+
+Tick
+samplePeriodTicks()
+{
+    const char *v = std::getenv("DSASIM_STATS_PERIOD");
+    double ns = 1000.0;
+    if (v != nullptr && *v != '\0') {
+        ns = std::atof(v);
+        fatal_if(ns <= 0.0,
+                 "DSASIM_STATS_PERIOD: expected a positive "
+                 "nanosecond count, got '%s'",
+                 v);
+    }
+    return fromNs(ns);
+}
+
+// --------------------------------------------------------------------
+// Exporters
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "dsasim_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name)
+        out.push_back(
+            std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    return out;
+}
+
+namespace
+{
+
+/** Shortest round-trippable rendering; %g-style for bounds. */
+void
+printDouble(std::FILE *out, double v)
+{
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 1e15) {
+        std::fprintf(out, "%lld",
+                     static_cast<long long>(v));
+        return;
+    }
+    std::fprintf(out, "%.17g", v);
+}
+
+const char *
+kindName(Registry::Kind k)
+{
+    switch (k) {
+      case Registry::Kind::Counter:
+        return "counter";
+      case Registry::Kind::Gauge:
+        return "gauge";
+      case Registry::Kind::Histogram:
+        return "histogram";
+    }
+    return "untyped";
+}
+
+} // namespace
+
+void
+writePrometheus(const Registry::Snapshot &snap,
+                std::FILE *out) // simlint:observer
+{
+    std::fprintf(out,
+                 "# dsasim telemetry snapshot at tick %llu\n",
+                 static_cast<unsigned long long>(snap.when));
+    for (const Registry::SnapshotEntry &e : snap.entries) {
+        const std::string pname = prometheusName(e.name);
+        std::fprintf(out, "# HELP %s %s\n", pname.c_str(),
+                     e.help.empty() ? e.name.c_str()
+                                    : e.help.c_str());
+        std::fprintf(out, "# TYPE %s %s\n", pname.c_str(),
+                     kindName(e.kind));
+        if (e.kind != Registry::Kind::Histogram) {
+            std::fprintf(out, "%s ", pname.c_str());
+            printDouble(out, e.value);
+            std::fprintf(out, "\n");
+            continue;
+        }
+        // Histogram: cumulative buckets, then _sum and _count.
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+            cum += e.buckets[b];
+            std::fprintf(out, "%s_bucket{le=\"", pname.c_str());
+            if (b < e.bounds.size())
+                std::fprintf(out, "%g", e.bounds[b]);
+            else
+                std::fprintf(out, "+Inf");
+            std::fprintf(out, "\"} %llu\n",
+                         static_cast<unsigned long long>(cum));
+        }
+        std::fprintf(out, "%s_sum ", pname.c_str());
+        printDouble(out, e.sum);
+        std::fprintf(out, "\n%s_count %llu\n", pname.c_str(),
+                     static_cast<unsigned long long>(
+                         static_cast<std::uint64_t>(e.value)));
+    }
+}
+
+bool
+validatePrometheus(const std::string &text, std::string *error)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+
+    // Per-metric-family bookkeeping keyed by base name.
+    struct Family
+    {
+        bool haveHelp = false;
+        bool haveType = false;
+        std::string type;
+        double lastBucket = -1.0;
+        bool sawInf = false;
+        double infCount = 0.0;
+        bool haveCount = false;
+        double count = 0.0;
+    };
+    std::map<std::string, Family> families;
+
+    const auto baseOf = [](const std::string &metric,
+                           std::string &suffix) {
+        for (const char *s : {"_bucket", "_sum", "_count"}) {
+            const std::size_t sl = std::strlen(s);
+            if (metric.size() > sl &&
+                metric.compare(metric.size() - sl, sl, s) == 0) {
+                suffix = s;
+                return metric.substr(0, metric.size() - sl);
+            }
+        }
+        suffix.clear();
+        return metric;
+    };
+
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string at =
+            "line " + std::to_string(lineno) + ": ";
+        if (line.empty())
+            continue;
+        if (line.rfind("# HELP ", 0) == 0 ||
+            line.rfind("# TYPE ", 0) == 0) {
+            const bool is_help = line[2] == 'H';
+            std::istringstream ls(line.substr(7));
+            std::string metric, rest;
+            ls >> metric;
+            if (metric.empty())
+                return fail(at + "malformed HELP/TYPE line");
+            Family &f = families[metric];
+            if (is_help) {
+                f.haveHelp = true;
+            } else {
+                ls >> rest;
+                if (rest != "counter" && rest != "gauge" &&
+                    rest != "histogram" && rest != "untyped")
+                    return fail(at + "unknown TYPE '" + rest + "'");
+                f.haveType = true;
+                f.type = rest;
+            }
+            continue;
+        }
+        if (line[0] == '#')
+            continue; // plain comment
+        // Sample line: name[{labels}] value
+        const std::size_t brace = line.find('{');
+        const std::size_t space = line.find(' ');
+        if (space == std::string::npos)
+            return fail(at + "sample line with no value");
+        const std::string metric = line.substr(
+            0, std::min(space, brace == std::string::npos
+                                   ? space
+                                   : brace));
+        std::string suffix;
+        const std::string base = baseOf(metric, suffix);
+        const auto fit = families.find(base);
+        // Histogram child series inherit the family's HELP/TYPE; a
+        // scalar whose own name has HELP/TYPE is also fine.
+        const auto self = families.find(metric);
+        const Family *fam = nullptr;
+        if (fit != families.end() && fit->second.haveHelp &&
+            fit->second.haveType)
+            fam = &fit->second;
+        else if (self != families.end() && self->second.haveHelp &&
+                 self->second.haveType)
+            fam = &self->second;
+        if (fam == nullptr)
+            return fail(at + "sample '" + metric +
+                        "' missing HELP/TYPE");
+        const double value =
+            std::atof(line.c_str() + space + 1);
+        if (!(value >= 0.0) &&
+            (fam->type == "counter" || fam->type == "histogram"))
+            return fail(at + "negative " + fam->type + " sample '" +
+                        metric + "'");
+        if (fam->type == "histogram" && fit != families.end()) {
+            Family &f = fit->second;
+            if (suffix == "_bucket") {
+                if (value < f.lastBucket)
+                    return fail(at + "histogram '" + base +
+                                "' buckets not cumulative");
+                f.lastBucket = value;
+                if (brace != std::string::npos &&
+                    line.find("le=\"+Inf\"") != std::string::npos) {
+                    f.sawInf = true;
+                    f.infCount = value;
+                }
+            } else if (suffix == "_count") {
+                f.haveCount = true;
+                f.count = value;
+            }
+        }
+    }
+    for (const auto &[name, f] : families) {
+        if (f.type == "histogram" && f.haveCount) {
+            if (!f.sawInf)
+                return fail("histogram '" + name +
+                            "' missing +Inf bucket");
+            if (f.infCount != f.count)
+                return fail("histogram '" + name +
+                            "' +Inf bucket != _count");
+        }
+    }
+    if (error != nullptr)
+        error->clear();
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Sampler
+
+Sampler::Sampler(Simulation &s, Tick period)
+    : sim(s), tickPeriod(period)
+{
+    fatal_if(period == 0, "stats::Sampler: zero sampling period");
+    sim.setSampleHook(period, [this] { sample(); });
+}
+
+Sampler::~Sampler()
+{
+    sim.clearSampleHook();
+}
+
+void
+Sampler::lockColumns()
+{
+    const Registry &reg =
+        static_cast<const Simulation &>(sim).stats();
+    columns.reserve(reg.metrics.size());
+    for (const auto &[name, m] : reg.metrics) {
+        Column c;
+        c.name = name;
+        c.kind = m.kind;
+        c.ctr = &m.ctr;
+        c.gau = &m.gau;
+        c.hist = &m.hist;
+        valuesPerRow +=
+            m.kind == Registry::Kind::Histogram ? 4 : 1;
+        columns.push_back(std::move(c));
+    }
+    lockedMetricCount = reg.metrics.size();
+}
+
+void
+Sampler::decimate() // simlint:observer
+{
+    // Keep the later row of each pair so the series still ends at
+    // the newest sample, and double the cadence: memory stays
+    // bounded on arbitrarily long runs, the surviving spacing stays
+    // uniform, and the kept ticks are a function of simulated time
+    // only — identical runs decimate identically.
+    std::size_t w = 0;
+    for (std::size_t r = 1; r < rows.size(); r += 2)
+        rows[w++] = std::move(rows[r]);
+    rows.resize(w);
+    tickPeriod *= 2;
+    // Retuning the hook cadence schedules no event and hashes
+    // nothing (Simulation::setSamplePeriod): fingerprints are
+    // untouched.
+    // simlint:allow(observer-purity)
+    sim.setSamplePeriod(tickPeriod);
+}
+
+void
+Sampler::sample() // simlint:observer
+{
+    if (columns.empty()) {
+        lockColumns();
+    } else if (!warnedNewMetrics &&
+               static_cast<const Simulation &>(sim).stats().size() !=
+                   lockedMetricCount) {
+        std::fprintf(stderr,
+                     "dsasim: stats: metrics registered after the "
+                     "first sample are omitted from the CSV (columns "
+                     "are locked); they still appear in the "
+                     "Prometheus export\n");
+        warnedNewMetrics = true;
+    }
+
+    // The hot path: straight reads through the locked metric
+    // references — no name lookups, no snapshot rebuild.
+    Row row;
+    row.when = sim.now();
+    row.values.reserve(valuesPerRow);
+    for (const Column &c : columns) {
+        switch (c.kind) {
+          case Registry::Kind::Counter:
+            row.values.push_back(
+                static_cast<double>(c.ctr->value()));
+            break;
+          case Registry::Kind::Gauge:
+            row.values.push_back(c.gau->value());
+            break;
+          case Registry::Kind::Histogram:
+            row.values.push_back(
+                static_cast<double>(c.hist->count()));
+            row.values.push_back(c.hist->sum());
+            row.values.push_back(c.hist->quantile(0.99));
+            row.values.push_back(c.hist->quantile(0.999));
+            break;
+        }
+    }
+    rows.push_back(std::move(row));
+    if (rows.size() >= maxRows)
+        decimate();
+
+    // Keep the Prometheus snapshot part of the recording: fresh on
+    // short runs, at most snapRefresh samples stale on long ones —
+    // and never read from the live registry at export time, when
+    // supplier-backed owners may already be gone.
+    ++samplesSinceSnap;
+    if (rows.size() <= snapRefresh ||
+        samplesSinceSnap >= snapRefresh) {
+        static_cast<const Simulation &>(sim).stats().sampleInto(
+            snap);
+        snap.when = sim.now();
+        samplesSinceSnap = 0;
+    }
+}
+
+bool
+Sampler::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::fprintf(f, "tick_ps");
+    for (const Column &c : columns) {
+        if (c.kind == Registry::Kind::Histogram)
+            std::fprintf(f, ",%s.count,%s.sum,%s.p99,%s.p999",
+                         c.name.c_str(), c.name.c_str(),
+                         c.name.c_str(), c.name.c_str());
+        else
+            std::fprintf(f, ",%s", c.name.c_str());
+    }
+    std::fprintf(f, "\n");
+    for (const Row &r : rows) {
+        std::fprintf(f, "%llu",
+                     static_cast<unsigned long long>(r.when));
+        for (const double v : r.values) {
+            std::fprintf(f, ",");
+            printDouble(f, v);
+        }
+        std::fprintf(f, "\n");
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+Sampler::writePrometheusFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    writePrometheus(snap, f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace stats
+} // namespace dsasim

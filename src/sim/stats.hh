@@ -1,7 +1,11 @@
 /**
  * @file
  * Measurement helpers: scalar counters, sample histograms with exact
- * percentiles, and time series for occupancy-style plots.
+ * percentiles, and time series for occupancy-style plots — plus the
+ * first-class telemetry registry (namespace stats): hierarchical
+ * dotted-name counters/gauges/fixed-bucket histograms, a
+ * deterministic pure-observer sampler, and pcm-sensor-server-style
+ * CSV / Prometheus exporters (DESIGN.md §15).
  */
 
 #ifndef DSASIM_SIM_STATS_HH
@@ -9,8 +13,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -200,6 +208,393 @@ class CycleAccount
     };
     std::vector<Entry> entries;
 };
+
+/**
+ * The telemetry registry (DESIGN.md §15). Metrics carry stable
+ * hierarchical dotted names ("dsa0.eng2.bytes_read"; a cluster fold
+ * prefixes the domain: "socket0.dsa1.eng2.bytes_read") and are
+ * registered once, by the component that owns them, against the
+ * Simulation's registry. Mutation goes through the metric API only —
+ * Counter::add / Gauge::set / Histogram::observe (simlint's
+ * counter-mutation rule rejects direct field writes) — and every
+ * read surface (snapshots, the Sampler, the exporters) is a pure
+ * observer: it never schedules events, consumes sequence numbers, or
+ * touches simulated state, so telemetry on/off and any sampling
+ * period leave event-stream fingerprints bit-identical.
+ */
+namespace stats
+{
+
+class Registry;
+
+/**
+ * Monotonic event counter. Either a stored cell bumped via add(),
+ * or a registry view over an existing component statistic
+ * (supplier-backed; see Registry::counter with a function).
+ */
+class Counter
+{
+  public:
+    void add(std::uint64_t d) { cell += d; }
+    void inc() { cell += 1; }
+    std::uint64_t value() const { return fn ? fn() : cell; }
+    bool supplierBacked() const { return static_cast<bool>(fn); }
+
+  private:
+    friend class Registry;
+    std::uint64_t cell = 0;
+    std::function<std::uint64_t()> fn;
+};
+
+/** Point-in-time level: stored via set(), or supplier-backed. */
+class Gauge
+{
+  public:
+    void set(double v) { cell = v; }
+    double value() const { return fn ? fn() : cell; }
+    bool supplierBacked() const { return static_cast<bool>(fn); }
+
+  private:
+    friend class Registry;
+    double cell = 0.0;
+    std::function<double()> fn;
+};
+
+/**
+ * Fixed-bucket histogram (Prometheus-style cumulative export): one
+ * count per configured upper bound plus an implicit +Inf overflow
+ * bucket. Unlike dsasim::Histogram (an exact/reservoir sample store
+ * for offline percentiles) the memory is O(buckets) and the export
+ * is deterministic, which is what the telemetry path needs.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** @p upper_bounds must be strictly ascending. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void
+    observe(double v)
+    {
+        std::size_t i = 0;
+        while (i < ubounds.size() && v > ubounds[i])
+            ++i;
+        ++counts[i];
+        ++n;
+        total += v;
+    }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    const std::vector<double> &bounds() const { return ubounds; }
+    /** Per-bucket counts; size bounds().size() + 1 (+Inf last). */
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return counts;
+    }
+
+    /**
+     * Bucket-resolved quantile estimate (q in [0, 1]), linearly
+     * interpolated within the selected bucket — the p99/p999 readout
+     * for live dashboards; exact tails still come from the reservoir
+     * dsasim::Histogram.
+     */
+    double quantile(double q) const;
+
+  private:
+    friend class Registry;
+    std::vector<double> ubounds;
+    std::vector<std::uint64_t> counts{0};
+    std::uint64_t n = 0;
+    double total = 0.0;
+};
+
+/**
+ * Hierarchical metric registry, one per Simulation. Registration
+ * (setup-time, non-observer) returns a stable reference — metrics
+ * live in node-based storage and are never removed. A duplicate name
+ * is fatal; multi-instance components disambiguate via scope().
+ *
+ * Checkpointable (sim/checkpoint.hh) as part of Simulation::State:
+ * stored metrics save by name and restore onto a registry whose
+ * components may not have registered yet (Snapshot::fork re-anchors
+ * the kernel before rebuilding the platform) — early values park in
+ * a pending map and seed the metric when it registers.
+ */
+class Registry
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+    Registry(Registry &&) = default;
+    Registry &operator=(Registry &&) = default;
+
+    /// @name Registration (setup-time; duplicate names are fatal).
+    /// @{
+    Counter &counter(const std::string &name,
+                     const std::string &help = "");
+    /** Supplier-backed counter view over an existing statistic. */
+    Counter &counter(const std::string &name, const std::string &help,
+                     std::function<std::uint64_t()> supplier);
+    Gauge &gauge(const std::string &name,
+                 const std::string &help = "");
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 std::function<double()> supplier);
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         std::vector<double> upper_bounds);
+
+    /**
+     * Auto-numbered instance prefix: scope("dto") returns "dto0",
+     * then "dto1", ... — stable per registration order, which the
+     * deterministic construction order makes reproducible.
+     */
+    std::string scope(const std::string &stem);
+    /// @}
+
+    /// @name Observer read surface.
+    /// @{
+    std::size_t size() const { return metrics.size(); }
+    bool has(const std::string &name) const; // simlint:observer
+
+    /** Value of a registered counter; fatal if absent/not a counter. */
+    std::uint64_t
+    counterValue(const std::string &name) const; // simlint:observer
+
+    /** One metric flattened for export. */
+    struct SnapshotEntry
+    {
+        std::string name;
+        std::string help;
+        Kind kind = Kind::Counter;
+        /** Counter/gauge scalar; histogram: observation count. */
+        double value = 0.0;
+        double sum = 0.0;                   ///< histogram only
+        std::vector<double> bounds;         ///< histogram only
+        std::vector<std::uint64_t> buckets; ///< histogram only
+    };
+
+    /** Point-in-time copy of every metric, ascending name order. */
+    struct Snapshot
+    {
+        Tick when = 0;
+        std::vector<SnapshotEntry> entries;
+    };
+
+    /**
+     * Refresh @p snap in place (reusing entry storage when the
+     * metric set is unchanged — the per-sample fast path).
+     */
+    void sampleInto(Snapshot &snap) const; // simlint:observer
+    Snapshot snapshot() const;             // simlint:observer
+    /// @}
+
+    /**
+     * Copy every metric of @p src into this registry as a stored
+     * metric named prefix + name — the deterministic cluster fold:
+     * domains are folded in domain-id order with "socket<d>."
+     * prefixes, so the combined view is identical for any worker
+     * thread count.
+     */
+    void fold(const Registry &src, const std::string &prefix);
+
+    /// @name Checkpointable state (stored metrics only — supplier-
+    /// backed views restore through their owning component).
+    /// @{
+    struct HistogramState
+    {
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    struct State
+    {
+        std::vector<std::pair<std::string, std::uint64_t>> counters;
+        std::vector<std::pair<std::string, double>> gauges;
+        std::vector<std::pair<std::string, HistogramState>>
+            histograms;
+    };
+
+    State saveState() const;
+    void restoreState(const State &st);
+    /// @}
+
+  private:
+    /** The Sampler locks direct metric references at first sample. */
+    friend class Sampler;
+
+    struct Metric
+    {
+        Kind kind = Kind::Counter;
+        std::string help;
+        Counter ctr;
+        Gauge gau;
+        Histogram hist;
+    };
+
+    Metric &add(const std::string &name, Kind kind,
+                const std::string &help);
+
+    // Node-based ordered map: references stay valid for the life of
+    // the registry and iteration is ascending-name deterministic.
+    std::map<std::string, Metric> metrics;
+    std::map<std::string, unsigned> scopes;
+
+    /** Values restored before their metric registered (fork order). */
+    std::map<std::string, std::uint64_t> pendingCounters;
+    std::map<std::string, double> pendingGauges;
+    std::map<std::string, HistogramState> pendingHistograms;
+};
+
+/// @name Export knobs (read once per query; host-only).
+/// DSASIM_STATS: unset/""/"0" disables the platform sampler; "1"
+/// enables with the default file prefix "dsasim-stats-"; any other
+/// value is used as the output file prefix verbatim.
+/// DSASIM_STATS_PERIOD: sampling period in nanoseconds (default
+/// 1000 = 1 us).
+/// @{
+bool samplingEnabled();
+std::string exportPrefix();
+Tick samplePeriodTicks();
+/// @}
+
+/// @name Exporters (pure observers over recorded snapshots).
+/// @{
+/** "dsa0.eng1.bytes_read" -> "dsasim_dsa0_eng1_bytes_read". */
+std::string prometheusName(const std::string &name);
+
+/** Prometheus text exposition format (HELP/TYPE + samples). */
+void writePrometheus(const Registry::Snapshot &snap,
+                     std::FILE *out); // simlint:observer
+
+/**
+ * Validate Prometheus text-exposition output: every sample preceded
+ * by its HELP/TYPE pair, histogram bucket counts cumulative, counter
+ * values non-negative. Returns true when valid; otherwise fills
+ * @p error.
+ */
+bool validatePrometheus(const std::string &text, std::string *error);
+/// @}
+
+} // namespace stats
+
+class Simulation;
+
+namespace stats
+{
+
+/**
+ * Deterministic registry poller. Installs a non-event sample hook on
+ * the Simulation (Simulation::setSampleHook): the event kernel fires
+ * the hook on the first event dispatch at-or-after each period
+ * boundary, consuming no sequence numbers and mixing nothing into
+ * the stream hash, so sampling at any period — or not at all —
+ * leaves fingerprints bit-identical.
+ *
+ * The per-sample path is built for the hot loop: at the first sample
+ * the column set is locked with direct references into the
+ * registry's node-based storage (stable for the registry's
+ * lifetime), and each sample reads those metrics straight into a row
+ * — no name lookups, no snapshot rebuild. When the recording reaches
+ * maxRows, every second row is dropped and the period doubles
+ * (Simulation::setSamplePeriod — an observer knob), so memory stays
+ * bounded on arbitrarily long runs while the series keeps uniform
+ * spacing; the surviving ticks are a function of simulated time
+ * only, so identical runs decimate identically.
+ *
+ * The Prometheus snapshot is part of the recording: it refreshes
+ * inside sample() — every sample for the first snapRefresh rows,
+ * then every snapRefresh-th — and the exporters render that
+ * recording, never the live registry. Supplier-backed metrics whose
+ * owners die after the run (serving tenants, admission policies,
+ * cluster ports) therefore never dangle at export time; the
+ * invariant components must hold is only that suppliers outlive the
+ * last event dispatch.
+ */
+class Sampler
+{
+  public:
+    /** Row cap; reaching it halves the recording, doubles period. */
+    static constexpr std::size_t maxRows = 1 << 16;
+    /** Snapshot refresh cadence, in samples (see class comment). */
+    static constexpr std::size_t snapRefresh = 16;
+
+    Sampler(Simulation &s, Tick period); // installs the hook
+    ~Sampler();                          // clears the hook
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** One observation of every registered metric. */
+    void sample(); // simlint:observer
+
+    std::size_t sampleCount() const { return rows.size(); }
+    /** Current cadence (grows on decimation). */
+    Tick period() const { return tickPeriod; }
+
+    /** Last recorded snapshot (≤ snapRefresh samples stale). */
+    const Registry::Snapshot &lastSnapshot() const // simlint:observer
+    {
+        return snap;
+    }
+
+    /**
+     * Per-run time series: one column per metric present at the
+     * first sample (late registrations are noted once on stderr and
+     * skipped — columns are locked so every row parses), one row per
+     * sample. Returns false on I/O failure.
+     */
+    bool writeCsv(const std::string &path) const;
+
+    /** Recorded snapshot in Prometheus text-exposition format. */
+    bool writePrometheusFile(const std::string &path) const;
+
+  private:
+    struct Row
+    {
+        Tick when = 0;
+        std::vector<double> values;
+    };
+
+    /**
+     * Locked at the first sample; histograms expand to 4 columns.
+     * The metric pointers alias the registry's node-based storage —
+     * valid as long as the registry (metrics are never removed).
+     */
+    struct Column
+    {
+        std::string name;
+        Registry::Kind kind = Registry::Kind::Counter;
+        const Counter *ctr = nullptr;
+        const Gauge *gau = nullptr;
+        const Histogram *hist = nullptr;
+    };
+
+    void lockColumns();
+    void decimate(); // simlint:observer
+
+    Simulation &sim;
+    Tick tickPeriod;
+    Registry::Snapshot snap;
+    std::vector<Column> columns;
+    std::vector<Row> rows;
+    std::size_t valuesPerRow = 0;
+    std::size_t lockedMetricCount = 0;
+    std::size_t samplesSinceSnap = 0;
+    bool warnedNewMetrics = false;
+};
+
+} // namespace stats
 
 } // namespace dsasim
 

@@ -1,0 +1,64 @@
+// Fixture: counter-mutation — registered stats::Counter/Gauge
+// metrics change only through the typed interface (Counter::add/inc,
+// Gauge::set); direct field writes bypass the registry's
+// monotonicity and checkpoint contracts. Linted as if at
+// src/dsa/counter_mutation.cc.
+
+namespace dsasim
+{
+
+namespace stats
+{
+
+class Counter
+{
+  public:
+    void add(unsigned long d) { cell += d; }
+    void inc() { cell += 1; }
+    unsigned long value() const { return cell; }
+
+  private:
+    unsigned long cell = 0;
+};
+
+class Gauge
+{
+  public:
+    void set(double v) { cell = v; }
+    double value() const { return cell; }
+
+  private:
+    double cell = 0.0;
+};
+
+} // namespace stats
+
+class Engine
+{
+  public:
+    // Constructor-init-list binding is the registration idiom and
+    // never trips the rule (init lists sit outside the body range).
+    Engine(stats::Counter &b, stats::Counter &o, stats::Gauge &g)
+        : bytesCtr(b), opsCtr(o), depthGauge(g)
+    {}
+
+    void
+    work(unsigned long n)
+    {
+        bytesCtr.add(n); // the typed interface: fine
+        opsCtr.inc();    // fine
+        depthGauge.set(static_cast<double>(n)); // fine
+
+        bytesCtr += n;    // direct compound write
+        ++opsCtr;         // direct increment
+        opsCtr++;         // direct post-increment
+        depthGauge = {};  // direct assignment
+    }
+
+  private:
+    stats::Counter &bytesCtr;
+    stats::Counter &opsCtr;
+    stats::Gauge &depthGauge;
+};
+
+} // namespace dsasim

@@ -46,6 +46,18 @@ class Cluster
     Simulation &domainSim(unsigned s);
 };
 
+namespace stats
+{
+class Counter
+{
+  public:
+    void inc() { cell += 1; }
+
+  private:
+    unsigned long cell = 0;
+};
+} // namespace stats
+
 class Gadget
 {
   public:
@@ -78,11 +90,18 @@ class CrossRules
         (void)r;
     }
 
+    void
+    bump()
+    {
+        opsCtr++; // simlint:allow(counter-mutation)
+    }
+
   private:
     struct Rng
     {
         unsigned long s;
     };
+    stats::Counter &opsCtr;
     // simlint:allow(domain-escape)
     Simulation *peer = nullptr;
     Gadget dev;

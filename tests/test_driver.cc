@@ -104,7 +104,6 @@ TEST(Idxd, SwqThresholdLimitsAdmission)
                 d.completion = &crs[i];
                 bool accepted = false;
                 // Submit without yielding to the dispatch event.
-                bb.plat.dsa(0).descriptorsRetried = 0;
                 auto st = bb.plat.dsa(0).submit(q, d);
                 accepted = st == DsaDevice::SubmitStatus::Accepted;
                 if (!accepted)

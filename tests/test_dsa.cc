@@ -365,7 +365,7 @@ TEST(DsaFaults, BlockOnFaultResolvesAndCompletes)
     auto r = b.runHw(d);
     EXPECT_TRUE(r.ok);
     EXPECT_TRUE(b.as->equal(src, dst, n));
-    EXPECT_GE(b.plat.dsa(0).engine(0).pageFaults, 1u);
+    EXPECT_GE(b.plat.dsa(0).engine(0).pageFaults(), 1u);
 }
 
 TEST(DsaFaults, NonBlockingFaultPartialCompletion)
@@ -431,7 +431,7 @@ TEST(DsaSubmission, SwqRetryWhenFull)
     Driver::go(b, src, dst, n, retries, cr1, cr2, cr3);
     b.sim.run();
     EXPECT_GE(retries, 1);
-    EXPECT_GE(b.plat.dsa(0).descriptorsRetried, 1u);
+    EXPECT_GE(b.plat.dsa(0).descriptorsRetried(), 1u);
 }
 
 TEST(DsaTiming, AsyncStreamingApproachesFabricRate)
@@ -534,10 +534,10 @@ TEST(DsaDevice, AtcWarmupReducesMisses)
     Addr src = b.as->alloc(n);
     Addr dst = b.as->alloc(n);
     b.runHw(dml::Executor::memMove(*b.as, dst, src, n));
-    std::uint64_t misses_cold = b.plat.dsa(0).engine(0).atcMisses;
+    std::uint64_t misses_cold = b.plat.dsa(0).engine(0).atcMisses();
     b.runHw(dml::Executor::memMove(*b.as, dst, src, n));
     std::uint64_t misses_warm =
-        b.plat.dsa(0).engine(0).atcMisses - misses_cold;
+        b.plat.dsa(0).engine(0).atcMisses() - misses_cold;
     EXPECT_EQ(misses_warm, 0u);
     EXPECT_GT(misses_cold, 0u);
 }

@@ -290,12 +290,12 @@ TEST(DsaFeatures, EngineStatsAccumulate)
     b.run(dml::Executor::memMove(*b.as, dst, src, n));
     Engine &eng = b.plat.dsa(0).engine(0);
     EXPECT_EQ(eng.descriptorsProcessed, 1u);
-    EXPECT_EQ(eng.bytesRead, n);
-    EXPECT_EQ(eng.bytesWritten, n);
+    EXPECT_EQ(eng.bytesRead(), n);
+    EXPECT_EQ(eng.bytesWritten(), n);
     EXPECT_GT(eng.busyTicks, 0u);
     b.run(dml::Executor::crc32(*b.as, src, n));
-    EXPECT_EQ(eng.bytesRead, 2 * n);
-    EXPECT_EQ(eng.bytesWritten, n); // crc writes nothing
+    EXPECT_EQ(eng.bytesRead(), 2 * n);
+    EXPECT_EQ(eng.bytesWritten(), n); // crc writes nothing
 }
 
 TEST(DsaFeatures, CompletionRecordRearm)

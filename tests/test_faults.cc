@@ -582,7 +582,7 @@ TEST(Recovery, DtoFallsBackToCpuOnHardwareError)
     // The call still produced correct data, on the CPU.
     EXPECT_TRUE(b.as->equal(src, dst, n));
     EXPECT_EQ(dto.cpuFallbacks, 1u);
-    EXPECT_EQ(dto.fallbackHwError, 1u);
+    EXPECT_EQ(dto.fallbackHwError(), 1u);
     EXPECT_EQ(dto.offloaded, 0u);
 
     // The error was transient (maxFires = 1): the next call offloads.

@@ -276,7 +276,7 @@ TEST(Serving, BackoffExhaustionDegradesToCpuWithZeroHangs)
     // One token ever: every request after the first is throttled at
     // the portal until bounded backoff gives up.
     WqAdmission adm;
-    b.plat.dsa(0).wq(0).admission = &adm;
+    b.plat.dsa(0).installAdmission(0, &adm);
 
     dml::TenantSession &sess = b.addTenant(node);
     adm.setBucket(sess.pasid, {1, 1});
@@ -401,7 +401,7 @@ runServingCluster(unsigned threads)
         WqAdmission::Config ac;
         ac.bucket = {2000, 4};
         rig.admission = std::make_unique<WqAdmission>(ac);
-        p.dsa(0).wq(0).admission = rig.admission.get();
+        p.dsa(0).installAdmission(0, rig.admission.get());
         rig.done = std::make_unique<Latch>(
             cl.domainSim(s), (tenants / cl.socketCount()) * requests);
     }

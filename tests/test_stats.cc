@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Telemetry subsystem tests (DESIGN.md §15):
+ *
+ *  - registry contracts: typed metrics, supplier-backed views,
+ *    scope() auto-numbering, fatal duplicate names;
+ *  - fixed-bucket histogram goldens and quantile interpolation;
+ *  - checkpoint round-trips, including values restored before their
+ *    metric registers (the Snapshot::fork ordering);
+ *  - the deterministic cluster fold;
+ *  - Prometheus / CSV exporters (golden output + format validator);
+ *  - sampler purity: the event-stream fingerprint is bit-identical
+ *    with sampling off, and on at any period;
+ *  - the pcm::Monitor registry view and its pcm-accel line format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/pcm.hh"
+#include "driver/snapshot.hh"
+#include "sim/stats.hh"
+#include "tests/util.hh"
+
+namespace dsasim
+{
+namespace
+{
+
+using test::Bench;
+
+// --------------------------------------------------------------------
+// Registry contracts
+
+TEST(StatsRegistry, CounterGaugeBasics)
+{
+    stats::Registry reg;
+    stats::Counter &c = reg.counter("dev.ops", "operations");
+    stats::Gauge &g = reg.gauge("dev.depth", "queue depth");
+
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_FALSE(c.supplierBacked());
+
+    g.set(7.5);
+    EXPECT_DOUBLE_EQ(g.value(), 7.5);
+
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_TRUE(reg.has("dev.ops"));
+    EXPECT_FALSE(reg.has("dev.nope"));
+    EXPECT_EQ(reg.counterValue("dev.ops"), 42u);
+}
+
+TEST(StatsRegistry, SupplierBackedViews)
+{
+    stats::Registry reg;
+    std::uint64_t events = 0;
+    double level = 0.0;
+    stats::Counter &c =
+        reg.counter("src.events", "supplier view", [&] { return events; });
+    stats::Gauge &g =
+        reg.gauge("src.level", "supplier view", [&] { return level; });
+
+    EXPECT_TRUE(c.supplierBacked());
+    EXPECT_TRUE(g.supplierBacked());
+    events = 99;
+    level = 0.25;
+    EXPECT_EQ(c.value(), 99u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.25);
+    EXPECT_EQ(reg.counterValue("src.events"), 99u);
+}
+
+TEST(StatsRegistry, DuplicateNameIsFatal)
+{
+    stats::Registry reg;
+    reg.counter("dup.name");
+    EXPECT_DEATH(reg.counter("dup.name"), "duplicate metric name");
+    EXPECT_DEATH(reg.gauge("dup.name"), "duplicate metric name");
+}
+
+TEST(StatsRegistry, ScopeAutoNumbers)
+{
+    stats::Registry reg;
+    EXPECT_EQ(reg.scope("dto"), "dto0");
+    EXPECT_EQ(reg.scope("dto"), "dto1");
+    EXPECT_EQ(reg.scope("serving"), "serving0");
+    EXPECT_EQ(reg.scope("dto"), "dto2");
+}
+
+TEST(StatsRegistry, SnapshotAscendingNamesAndSuppliers)
+{
+    stats::Registry reg;
+    reg.counter("b.ops").add(2);
+    std::uint64_t live = 5;
+    reg.counter("a.ops", "", [&] { return live; });
+    reg.gauge("c.depth").set(3.0);
+
+    stats::Registry::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries.size(), 3u);
+    EXPECT_EQ(snap.entries[0].name, "a.ops");
+    EXPECT_EQ(snap.entries[1].name, "b.ops");
+    EXPECT_EQ(snap.entries[2].name, "c.depth");
+    EXPECT_DOUBLE_EQ(snap.entries[0].value, 5.0);
+    EXPECT_DOUBLE_EQ(snap.entries[1].value, 2.0);
+    EXPECT_DOUBLE_EQ(snap.entries[2].value, 3.0);
+
+    // sampleInto refreshes in place and tracks the live supplier.
+    live = 6;
+    reg.sampleInto(snap);
+    EXPECT_DOUBLE_EQ(snap.entries[0].value, 6.0);
+}
+
+// --------------------------------------------------------------------
+// Fixed-bucket histogram
+
+TEST(StatsHistogram, BucketGoldens)
+{
+    stats::Registry reg;
+    stats::Histogram &h =
+        reg.histogram("lat", "latency", {1.0, 4.0, 16.0});
+
+    for (double v : {0.5, 1.0, 2.0, 4.0, 8.0, 100.0})
+        h.observe(v);
+
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 115.5);
+    // Buckets are per-bound (non-cumulative) with a +Inf overflow:
+    // le=1: {0.5, 1.0}; le=4: {2.0, 4.0}; le=16: {8.0}; +Inf: {100}.
+    const std::vector<std::uint64_t> want = {2, 2, 1, 1};
+    EXPECT_EQ(h.bucketCounts(), want);
+    ASSERT_EQ(h.bounds().size(), 3u);
+
+    // Quantiles interpolate within the selected bucket; +Inf-bucket
+    // hits clamp to the largest finite bound.
+    EXPECT_GE(h.quantile(0.99), 16.0);
+    EXPECT_LE(h.quantile(0.5), 4.0);
+    EXPECT_GE(h.quantile(1.0), h.quantile(0.0));
+}
+
+TEST(StatsHistogram, BoundsMustAscend)
+{
+    stats::Registry reg;
+    EXPECT_DEATH(reg.histogram("bad", "", {4.0, 4.0}), "ascending");
+}
+
+// --------------------------------------------------------------------
+// Checkpoint round-trip and the fork restore ordering
+
+TEST(StatsRegistry, SaveRestoreRoundTrip)
+{
+    stats::Registry reg;
+    reg.counter("a.ops").add(10);
+    reg.gauge("a.depth").set(2.5);
+    stats::Histogram &h = reg.histogram("a.lat", "", {1.0, 8.0});
+    h.observe(0.5);
+    h.observe(9.0);
+    // Supplier-backed views are skipped: they restore through the
+    // owning component, not the registry.
+    reg.counter("a.live", "", [] { return std::uint64_t{7}; });
+
+    stats::Registry::State st = reg.saveState();
+    ASSERT_EQ(st.counters.size(), 1u);
+    EXPECT_EQ(st.counters[0].first, "a.ops");
+
+    stats::Registry other;
+    stats::Counter &oc = other.counter("a.ops");
+    stats::Gauge &og = other.gauge("a.depth");
+    stats::Histogram &oh = other.histogram("a.lat", "", {1.0, 8.0});
+    other.restoreState(st);
+
+    EXPECT_EQ(oc.value(), 10u);
+    EXPECT_DOUBLE_EQ(og.value(), 2.5);
+    EXPECT_EQ(oh.count(), 2u);
+    EXPECT_DOUBLE_EQ(oh.sum(), 9.5);
+    EXPECT_EQ(oh.bucketCounts(), h.bucketCounts());
+}
+
+TEST(StatsRegistry, PendingRestoreSeedsLateRegistration)
+{
+    stats::Registry reg;
+    reg.counter("late.ops").add(33);
+    reg.gauge("late.depth").set(1.5);
+    stats::Registry::State st = reg.saveState();
+
+    // Snapshot::fork restores the kernel state before the platform's
+    // components re-register their metrics: the values must park and
+    // seed the metric when registration eventually happens.
+    stats::Registry other;
+    other.restoreState(st);
+    EXPECT_FALSE(other.has("late.ops"));
+    stats::Counter &c = other.counter("late.ops");
+    stats::Gauge &g = other.gauge("late.depth");
+    EXPECT_EQ(c.value(), 33u);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(StatsRegistry, FoldPrefixesAndMaterializesSuppliers)
+{
+    stats::Registry s0;
+    s0.counter("dsa0.ops").add(4);
+    s0.counter("dsa0.live", "", [] { return std::uint64_t{11}; });
+    stats::Registry s1;
+    s1.counter("dsa0.ops").add(6);
+
+    stats::Registry combined;
+    combined.fold(s0, "socket0.");
+    combined.fold(s1, "socket1.");
+
+    EXPECT_EQ(combined.counterValue("socket0.dsa0.ops"), 4u);
+    EXPECT_EQ(combined.counterValue("socket1.dsa0.ops"), 6u);
+    // The supplier view folds as a stored value — the combined
+    // registry must not dangle into the source domain.
+    EXPECT_EQ(combined.counterValue("socket0.dsa0.live"), 11u);
+}
+
+// --------------------------------------------------------------------
+// Exporters
+
+std::string
+renderPrometheus(const stats::Registry &reg)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    stats::writePrometheus(reg.snapshot(), f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+TEST(StatsExport, PrometheusGolden)
+{
+    stats::Registry reg;
+    reg.counter("dsa0.eng1.bytes_read", "bytes pulled by the engine")
+        .add(4096);
+    reg.gauge("llc.occupancy_bytes", "LLC bytes in use").set(1.5);
+    stats::Histogram &h =
+        reg.histogram("serving0.latency_us", "request latency",
+                      {1.0, 8.0});
+    h.observe(0.5);
+    h.observe(2.0);
+    h.observe(100.0);
+
+    const std::string text = renderPrometheus(reg);
+    const std::string want =
+        "# dsasim telemetry snapshot at tick 0\n"
+        "# HELP dsasim_dsa0_eng1_bytes_read bytes pulled by the "
+        "engine\n"
+        "# TYPE dsasim_dsa0_eng1_bytes_read counter\n"
+        "dsasim_dsa0_eng1_bytes_read 4096\n"
+        "# HELP dsasim_llc_occupancy_bytes LLC bytes in use\n"
+        "# TYPE dsasim_llc_occupancy_bytes gauge\n"
+        "dsasim_llc_occupancy_bytes 1.5\n"
+        "# HELP dsasim_serving0_latency_us request latency\n"
+        "# TYPE dsasim_serving0_latency_us histogram\n"
+        "dsasim_serving0_latency_us_bucket{le=\"1\"} 1\n"
+        "dsasim_serving0_latency_us_bucket{le=\"8\"} 2\n"
+        "dsasim_serving0_latency_us_bucket{le=\"+Inf\"} 3\n"
+        "dsasim_serving0_latency_us_sum 102.5\n"
+        "dsasim_serving0_latency_us_count 3\n";
+    EXPECT_EQ(text, want);
+
+    std::string err;
+    EXPECT_TRUE(stats::validatePrometheus(text, &err)) << err;
+}
+
+TEST(StatsExport, ValidatorRejectsMalformedOutput)
+{
+    std::string err;
+    // A sample with no preceding HELP/TYPE pair.
+    EXPECT_FALSE(
+        stats::validatePrometheus("dsasim_orphan 1\n", &err));
+    EXPECT_FALSE(err.empty());
+
+    // Non-cumulative histogram buckets.
+    const std::string bad =
+        "# HELP dsasim_h h\n"
+        "# TYPE dsasim_h histogram\n"
+        "dsasim_h_bucket{le=\"1\"} 5\n"
+        "dsasim_h_bucket{le=\"+Inf\"} 3\n"
+        "dsasim_h_sum 1\n"
+        "dsasim_h_count 3\n";
+    EXPECT_FALSE(stats::validatePrometheus(bad, &err));
+}
+
+TEST(StatsExport, PrometheusNameMangling)
+{
+    EXPECT_EQ(stats::prometheusName("dsa0.eng1.bytes_read"),
+              "dsasim_dsa0_eng1_bytes_read");
+    EXPECT_EQ(stats::prometheusName("upi0to1.round_trips"),
+              "dsasim_upi0to1_round_trips");
+}
+
+// --------------------------------------------------------------------
+// Platform integration: a hardware offload bumps the registry
+
+struct HwBench : Bench
+{
+    HwBench()
+    {
+        Platform::configureBasic(plat.dsa(0), 32, 2);
+        dml::ExecutorConfig ec;
+        ec.path = dml::Path::Hardware;
+        exec = std::make_unique<dml::Executor>(
+            sim, plat.mem(), plat.kernels(),
+            std::vector<DsaDevice *>{&plat.dsa(0)}, ec);
+    }
+
+    dml::OpResult
+    run(const WorkDescriptor &d)
+    {
+        dml::OpResult out;
+        bool fin = false;
+        test::driveOp(*this, *exec, d, out, fin);
+        sim.run();
+        EXPECT_TRUE(fin);
+        return out;
+    }
+
+    std::unique_ptr<dml::Executor> exec;
+};
+
+TEST(StatsPlatform, ComponentFamiliesRegistered)
+{
+    HwBench b;
+    const stats::Registry &reg = b.sim.stats();
+    // Every component family the exporter covers registers against
+    // the Simulation's registry at construction/configure time.
+    for (const char *name : {
+             "dsa0.descriptors_submitted",  // device
+             "dsa0.wq0.depth",              // WQ admission
+             "dsa0.wq0.accepted",
+             "dsa0.eng0.bytes_read",        // processing engines
+             "dsa0.eng0.utilization",
+             "llc.occupancy_bytes",         // LLC / DDIO
+             "llc.ddio_capacity_bytes",
+             "llc.miss_bytes",
+             "iommu.translations",          // address translation
+         }) {
+        EXPECT_TRUE(reg.has(name)) << name;
+    }
+}
+
+TEST(StatsPlatform, OffloadBumpsRegistryCounters)
+{
+    HwBench b;
+    const std::uint64_t n = 16384;
+    Addr src = b.as->alloc(n);
+    Addr dst = b.as->alloc(n);
+    b.randomize(src, n);
+
+    dml::OpResult r =
+        b.run(dml::Executor::memMove(*b.as, dst, src, n));
+    EXPECT_EQ(r.status, CompletionRecord::Status::Success);
+
+    const stats::Registry &reg = b.sim.stats();
+    EXPECT_EQ(reg.counterValue("dsa0.descriptors_submitted"), 1u);
+    std::uint64_t read = 0, written = 0;
+    for (std::size_t e = 0; e < b.plat.dsa(0).engineCount(); ++e) {
+        const std::string eng = "dsa0.eng" + std::to_string(e) + ".";
+        read += reg.counterValue(eng + "bytes_read");
+        written += reg.counterValue(eng + "bytes_written");
+    }
+    EXPECT_GE(read, n);
+    EXPECT_GE(written, n);
+}
+
+TEST(StatsPlatform, ForkCarriesRegistryValues)
+{
+    HwBench b;
+    const std::uint64_t n = 8192;
+    Addr src = b.as->alloc(n);
+    Addr dst = b.as->alloc(n);
+    b.randomize(src, n);
+    b.run(dml::Executor::memMove(*b.as, dst, src, n));
+
+    const std::uint64_t submitted =
+        b.sim.stats().counterValue("dsa0.descriptors_submitted");
+    ASSERT_EQ(submitted, 1u);
+
+    Snapshot snap = Snapshot::capture(b.plat);
+    std::unique_ptr<Snapshot::Forked> fork = snap.fork();
+    // Device counters are stored metrics: the forked continuation
+    // resumes the tallies where the source left off.
+    EXPECT_EQ(fork->sim.stats().counterValue(
+                  "dsa0.descriptors_submitted"),
+              submitted);
+}
+
+// --------------------------------------------------------------------
+// Sampler: purity and CSV shape
+
+TEST(StatsSampler, FingerprintUnchangedBySampling)
+{
+    auto workload = [](HwBench &b) {
+        const std::uint64_t n = 4096;
+        Addr src = b.as->alloc(n);
+        Addr dst = b.as->alloc(n);
+        b.randomize(src, n);
+        for (int i = 0; i < 8; ++i)
+            b.run(dml::Executor::memMove(*b.as, dst, src, n));
+        return b.sim.streamHash();
+    };
+
+    std::uint64_t hash_off, hash_on;
+    std::size_t samples = 0;
+    {
+        HwBench b;
+        b.sim.enableStreamHash(true);
+        hash_off = workload(b);
+    }
+    {
+        HwBench b;
+        b.sim.enableStreamHash(true);
+        stats::Sampler sampler(b.sim, fromNs(100));
+        hash_on = workload(b);
+        samples = sampler.sampleCount();
+    }
+    EXPECT_EQ(hash_on, hash_off);
+    EXPECT_GT(samples, 0u);
+}
+
+TEST(StatsSampler, CsvColumnsLockedAndParseable)
+{
+    HwBench b;
+    stats::Sampler sampler(b.sim, fromNs(100));
+    const std::uint64_t n = 4096;
+    Addr src = b.as->alloc(n);
+    Addr dst = b.as->alloc(n);
+    b.randomize(src, n);
+    b.run(dml::Executor::memMove(*b.as, dst, src, n));
+    ASSERT_GT(sampler.sampleCount(), 0u);
+
+    const std::string path =
+        ::testing::TempDir() + "stats_sampler_test.csv";
+    ASSERT_TRUE(sampler.writeCsv(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[65536];
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    std::string header(line);
+    EXPECT_EQ(header.rfind("tick_ps,", 0), 0u);
+    EXPECT_NE(header.find("dsa0.descriptors_submitted"),
+              std::string::npos);
+    const std::size_t cols =
+        static_cast<std::size_t>(
+            std::count(header.begin(), header.end(), ',')) + 1;
+    // Every data row must carry exactly the locked column count.
+    std::size_t rows = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        const std::string row(line);
+        EXPECT_EQ(static_cast<std::size_t>(std::count(
+                      row.begin(), row.end(), ',')) + 1, cols);
+        ++rows;
+    }
+    std::fclose(f);
+    EXPECT_EQ(rows, sampler.sampleCount());
+    std::remove(path.c_str());
+}
+
+TEST(StatsSampler, DecimationBoundsMemoryAndGrowsPeriod)
+{
+    Simulation sim;
+    sim.stats().counter("long.ops").add(1);
+    stats::Sampler sampler(sim, fromNs(100));
+
+    // A run long enough to cross the row cap several times must keep
+    // the recording bounded and stretch the cadence, never lose the
+    // newest sample, and leave rows strictly ordered.
+    const std::size_t n = 5 * stats::Sampler::maxRows / 2;
+    for (std::size_t i = 0; i < n; ++i)
+        sampler.sample();
+    EXPECT_LT(sampler.sampleCount(), stats::Sampler::maxRows);
+    EXPECT_GT(sampler.sampleCount(), stats::Sampler::maxRows / 4);
+    EXPECT_GT(sampler.period(), fromNs(100));
+}
+
+// --------------------------------------------------------------------
+// pcm::Monitor registry view
+
+TEST(StatsPcm, FormatGolden)
+{
+    pcm::DsaCounters d;
+    d.deviceId = 0;
+    d.inboundBytes = 2'000'000'000;
+    d.outboundBytes = 1'000'000'000;
+    d.descriptorsProcessed = 3'000'000;
+    d.descriptorsRetried = 4;
+    d.pageFaults = 5;
+    d.atcMisses = 6;
+    EXPECT_EQ(pcm::Monitor::format(d, fromUs(1'000'000)),
+              "dsa0: in 2.00 GB/s out 1.00 GB/s reqs 3.00M/s "
+              "retries 4 faults 5 atc-misses 6");
+}
+
+TEST(StatsPcm, MonitorMatchesRegistry)
+{
+    HwBench b;
+    const std::uint64_t n = 16384;
+    Addr src = b.as->alloc(n);
+    Addr dst = b.as->alloc(n);
+    b.randomize(src, n);
+    b.run(dml::Executor::memMove(*b.as, dst, src, n));
+
+    pcm::Monitor mon(b.plat);
+    pcm::DsaCounters c = mon.sample(0);
+    const stats::Registry &reg = b.sim.stats();
+    EXPECT_EQ(c.descriptorsSubmitted,
+              reg.counterValue("dsa0.descriptors_submitted"));
+    EXPECT_EQ(c.descriptorsRetried,
+              reg.counterValue("dsa0.descriptors_retried"));
+    std::uint64_t read = 0;
+    for (std::size_t e = 0; e < b.plat.dsa(0).engineCount(); ++e)
+        read += reg.counterValue("dsa0.eng" + std::to_string(e) +
+                                 ".bytes_read");
+    EXPECT_EQ(c.inboundBytes, read);
+    EXPECT_GE(c.inboundBytes, n);
+}
+
+} // namespace
+} // namespace dsasim

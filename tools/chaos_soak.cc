@@ -347,7 +347,7 @@ overloadSoak(const Options &opt)
     WqAdmission::Config ac;
     ac.bucket = {3000, 8};
     WqAdmission admission(ac);
-    plat.dsa(0).wq(0).admission = &admission;
+    plat.dsa(0).installAdmission(0, &admission);
 
     const ArrivalMix mix = ArrivalMix::parse(
         "poisson:rate=2000,weight=3,bytes=1024;"

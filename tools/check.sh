@@ -93,6 +93,40 @@ echo "== Overload soak + serving determinism (1 thread vs 4) =="
     --partitions=4 --n=512 --seed=1 \
     --faults='page-fault:p=0.05,pasid=3;wq-reject:p=0.01'
 
+echo "== Telemetry observer gates (DESIGN.md §15) =="
+# Sampling off / 1 ns / 1 us must fingerprint identically.
+"$root/build-release/tools/determinism_check" --telemetry --n=2000 \
+    --seed=1
+"$root/build-release/tools/determinism_check" --telemetry --n=2000 \
+    --seed=1 \
+    --faults='page-fault:p=0.05;hang:every=701;wq-reject:p=0.01'
+# Exporter end-to-end: arm the sampler, render the CSV with
+# statsdump, and sanity-check the Prometheus snapshot covers the
+# component families.
+tele_dir=$(mktemp -d)
+DSASIM_STATS="$tele_dir/check-" \
+    "$root/build-release/tools/dsa_perf_micros" \
+    --op=memcpy --ts=4096 --mode=async --qd=32 >/dev/null
+"$root/build-release/tools/statsdump" --list \
+    "$tele_dir"/check-*.csv >/dev/null
+"$root/build-release/tools/statsdump" --interval-us=100 \
+    "$tele_dir"/check-*.csv >/dev/null
+for metric in dsa0_descriptors_submitted dsa0_wq0_depth \
+    dsa0_eng0_bytes_read dsa0_eng0_utilization \
+    llc_occupancy_bytes llc_miss_bytes iommu_translations; do
+    grep -q "# TYPE dsasim_$metric " "$tele_dir"/check-*.prom || {
+        echo "telemetry: dsasim_$metric missing from the Prometheus \
+export" >&2
+        exit 1
+    }
+done
+# The perf gates must hold with sampling armed at the default period
+# (the sampler is a pure observer with negligible host cost).
+DSASIM_STATS="$tele_dir/bench-" \
+    "$root/build-release/bench/bench_engine" \
+    --check="$root/BENCH_engine.json"
+rm -rf "$tele_dir"
+
 echo "== ASan/UBSan build + tests =="
 # Leak checking stays off: SimTask coroutines are fire-and-forget by
 # design (sim/task.hh), so tearing a platform down mid-run abandons
@@ -111,6 +145,13 @@ cmake --build "$root/build-tsan" -j "$(nproc)" \
 DSASIM_PARTITIONS=4 "$root/build-tsan/tests/test_partition"
 "$root/build-tsan/tools/determinism_check" --partitions=4 --n=400 \
     --seed=1
+# Per-socket samplers under the threaded epoch runner: each domain's
+# sampler observes its own registry from its worker thread.
+tsan_tele=$(mktemp -d)
+DSASIM_STATS="$tsan_tele/tsan-" DSASIM_PARTITIONS=4 \
+    "$root/build-tsan/tools/determinism_check" --partitions=4 \
+    --n=400 --seed=1
+rm -rf "$tsan_tele"
 
 echo "== Event-kernel self-benchmark =="
 "$root/build-release/bench/bench_simhost" \

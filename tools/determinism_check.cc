@@ -54,9 +54,15 @@
  * fingerprint identically — span operations are tick-equivalent to
  * their per-line expansions.
  *
+ * With --telemetry the harness guards the observer contract of the
+ * stats subsystem (DESIGN.md §15): the same run with sampling off,
+ * at a 1 ns period, and at the default 1 us period must produce
+ * bit-identical fingerprints — the sample hook observes the
+ * schedule, it never participates in it.
+ *
  * Usage: determinism_check [--n=2000] [--seed=42] [--faults=SPEC]
  *                          [--fork] [--partitions=K] [--serving]
- *                          [--acct]
+ *                          [--acct] [--telemetry]
  */
 
 #include <algorithm>
@@ -89,6 +95,7 @@ struct Options
     unsigned partitions = 0; ///< >0: 1-thread vs K-thread cluster
     bool serving = false; ///< serving-stack scenario (DESIGN.md §12)
     bool acct = false; ///< batched vs line cache accounting (§13)
+    bool telemetry = false; ///< sampling on/off/period purity (§15)
 };
 
 struct Fingerprint
@@ -608,7 +615,7 @@ runServingScenario(const Options &opt, unsigned threads)
         WqAdmission::Config ac;
         ac.bucket = {3000, 8};
         rig.admission = std::make_unique<WqAdmission>(ac);
-        p.dsa(0).wq(0).admission = rig.admission.get();
+        p.dsa(0).installAdmission(0, rig.admission.get());
         const std::uint64_t onSocket =
             (tenants - s + cl.socketCount() - 1) / cl.socketCount();
         rig.done = std::make_unique<Latch>(cl.domainSim(s),
@@ -710,6 +717,48 @@ runAcctCheck(const Options &opt)
     return 0;
 }
 
+/**
+ * Telemetry-purity guard (--telemetry): the sample hook must be a
+ * pure observer. The same scenario runs with sampling off, with
+ * DSASIM_STATS at a 1 ns period (a sample opportunity at every
+ * event), and at the default 1 us period; all three fingerprints
+ * must be bit-identical (DESIGN.md §15). Composes with --faults.
+ */
+int
+runTelemetryCheck(const Options &opt)
+{
+    unsetenv("DSASIM_STATS");
+    Fingerprint off = runScenario(opt);
+    print("stats off   ", off);
+
+    setenv("DSASIM_STATS", "determinism-telemetry-", 1);
+    setenv("DSASIM_STATS_PERIOD", "1", 1);
+    Fingerprint fine = runScenario(opt);
+    print("period 1ns  ", fine);
+
+    setenv("DSASIM_STATS_PERIOD", "1000", 1);
+    Fingerprint coarse = runScenario(opt);
+    print("period 1us  ", coarse);
+
+    unsetenv("DSASIM_STATS");
+    unsetenv("DSASIM_STATS_PERIOD");
+
+    if (!(off == fine) || !(off == coarse)) {
+        std::fprintf(stderr,
+                     "FAIL: telemetry sampling perturbed the event "
+                     "stream — the sample hook scheduled an event, "
+                     "consumed a sequence number, or mutated "
+                     "simulated state (DESIGN.md §15)\n");
+        return 1;
+    }
+    std::printf("determinism_check --telemetry: PASS (%llu "
+                "descriptors, seed %llu%s)\n",
+                static_cast<unsigned long long>(opt.n),
+                static_cast<unsigned long long>(opt.seed),
+                opt.faults.empty() ? "" : ", faulted");
+    return 0;
+}
+
 int
 runServingCheck(const Options &opt)
 {
@@ -765,15 +814,20 @@ main(int argc, char **argv)
             opt.serving = true;
         else if (a == "--acct")
             opt.acct = true;
+        else if (a == "--telemetry")
+            opt.telemetry = true;
         else {
             std::fprintf(stderr,
                          "usage: determinism_check [--n=N] "
                          "[--seed=S] [--faults=SPEC] [--fork] "
-                         "[--partitions=K] [--serving] [--acct]\n");
+                         "[--partitions=K] [--serving] [--acct] "
+                         "[--telemetry]\n");
             return 2;
         }
     }
 
+    if (opt.telemetry)
+        return runTelemetryCheck(opt);
     if (opt.acct)
         return runAcctCheck(opt);
     if (opt.serving)

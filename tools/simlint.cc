@@ -129,7 +129,7 @@ namespace
 {
 
 /// Bumped whenever a rule changes so stale caches self-invalidate.
-const char *kRulesetVersion = "simlint-v2.0";
+const char *kRulesetVersion = "simlint-v2.1";
 
 struct Diagnostic
 {
@@ -627,6 +627,8 @@ struct FieldRecord
     int col = 0;
     bool simPtr = false;    ///< declared `Simulation *`
     bool constQual = false; ///< any `const` in the declaration head
+    /** Declared `stats::Counter`/`stats::Gauge` (value or ref). */
+    bool counterTyped = false;
 };
 
 /** A namespace-scope variable. */
@@ -1043,10 +1045,22 @@ class StructureParser
                 break;
             }
         }
+        // stats::Counter / stats::Gauge members (by value or by
+        // reference). Exact-token match: CounterRng and the legacy
+        // reservoir Histogram never collide.
+        bool counterTyped = false;
+        for (std::size_t k = start; k < end && k < nameIdx; ++k) {
+            if (ident(k) &&
+                (tok(k) == "Counter" || tok(k) == "Gauge")) {
+                counterTyped = true;
+                break;
+            }
+        }
         if (!cls.empty()) {
             out.fields.push_back(FieldRecord{cls, nt.text, nt.line,
                                              nt.col, simPtr,
-                                             sawConst});
+                                             sawConst,
+                                             counterTyped});
         } else {
             out.globals.push_back(
                 GlobalRecord{nt.text, nt.line, !sawConst});
@@ -1787,6 +1801,9 @@ class ProjectAnalyzer
             for (const GlobalRecord &g : files[fi].syms.globals)
                 if (g.mutableVar)
                     mutableGlobals.insert(g.name);
+            for (const FieldRecord &fd : files[fi].syms.fields)
+                if (fd.counterTyped)
+                    counterFields[fd.name] = fd.cls;
         }
         accessorNames.insert("domainSim");
     }
@@ -1797,6 +1814,7 @@ class ProjectAnalyzer
         checkDomainEscape();
         checkObserverPurity();
         checkSeedFlow();
+        checkCounterMutation();
     }
 
   private:
@@ -1807,6 +1825,8 @@ class ProjectAnalyzer
     std::map<std::string, std::vector<std::size_t>> methodsByName;
     std::set<std::string> mutableGlobals;
     std::set<std::string> accessorNames;
+    /** counter/gauge-typed field name -> declaring class. */
+    std::map<std::string, std::string> counterFields;
 
     void
     report(std::size_t file_idx, int line, int col,
@@ -2022,6 +2042,20 @@ class ProjectAnalyzer
         for (const FuncRecord *fr : funcs)
             if (fr->observerMarked)
                 markedQuals.insert(fr->qual);
+        // The registry's sample/export surface is an observer by
+        // definition: every sim/stats.* function named sample*/
+        // snapshot*/write* roots the purity walk even without an
+        // explicit // simlint:observer marker.
+        for (const FuncRecord *fr : funcs) {
+            const std::string lp =
+                normalPath(files[fr->fileIdx].sf.logicalPath);
+            if (lp.find("sim/stats.") == std::string::npos)
+                continue;
+            if (fr->name.rfind("sample", 0) == 0 ||
+                fr->name.rfind("snapshot", 0) == 0 ||
+                fr->name.rfind("write", 0) == 0)
+                markedQuals.insert(fr->qual);
+        }
         if (markedQuals.empty())
             return;
         std::vector<std::size_t> roots;
@@ -2121,6 +2155,86 @@ class ProjectAnalyzer
         }
     }
 
+    // -------- counter-mutation --------
+
+    /**
+     * Registered counters change only through the typed interface
+     * (Counter::add/inc, Gauge::set); a direct write to a
+     * Counter/Gauge-typed field outside sim/stats.* bypasses the
+     * registry's monotonicity and checkpoint contracts. Reference
+     * members bind in constructor init lists, which sit outside the
+     * scanned body range, so registration itself never trips this.
+     */
+    void
+    checkCounterMutation()
+    {
+        if (counterFields.empty())
+            return;
+        for (std::size_t fi = 0; fi < files.size(); ++fi) {
+            const std::string lp =
+                normalPath(files[fi].sf.logicalPath);
+            if (lp.find("sim/stats.") != std::string::npos)
+                continue;
+            for (const FuncRecord &fn : files[fi].syms.funcs) {
+                if (!fn.hasBody)
+                    continue;
+                scanCounterWrites(fi, fn);
+            }
+        }
+    }
+
+    void
+    scanCounterWrites(std::size_t fi, const FuncRecord &fn)
+    {
+        const std::vector<Token> &T = files[fi].sf.tokens;
+        for (std::size_t k = fn.bodyBegin;
+             k < fn.bodyEnd && k < T.size(); ++k) {
+            const Token &t = T[k];
+            if (!t.isIdent)
+                continue;
+            auto it = counterFields.find(t.text);
+            if (it == counterFields.end())
+                continue;
+            // A declaration/parameter mention (preceded by another
+            // identifier or ::) is not an access to the field.
+            if (k > 0 &&
+                (T[k - 1].isIdent || T[k - 1].text == "::" ||
+                 T[k - 1].text == "&"))
+                continue;
+            bool write = false;
+            if (k + 1 < T.size() && isAssignEq(T, k + 1)) {
+                // Exempt pointer/null (re)binding forms.
+                const std::string &rhs =
+                    k + 2 < T.size() ? T[k + 2].text : "";
+                if (rhs != "&" && rhs != "nullptr")
+                    write = true;
+            }
+            static const std::set<std::string> compound = {
+                "+", "-", "*", "/", "%", "&", "|", "^"};
+            if (k + 2 < T.size() &&
+                compound.count(T[k + 1].text) > 0 &&
+                T[k + 2].text == "=")
+                write = true;
+            if (k + 2 < T.size() &&
+                ((T[k + 1].text == "+" && T[k + 2].text == "+") ||
+                 (T[k + 1].text == "-" && T[k + 2].text == "-")))
+                write = true;
+            if (k >= 2 &&
+                ((T[k - 1].text == "+" && T[k - 2].text == "+") ||
+                 (T[k - 1].text == "-" && T[k - 2].text == "-")))
+                write = true;
+            if (write) {
+                report(fi, t.line, t.col, "counter-mutation",
+                       "direct write to registry metric field '" +
+                           it->second + "::" + t.text + "'",
+                       "registered counters change only through "
+                       "Counter::add/inc and Gauge::set so the "
+                       "registry's monotonicity and checkpoint "
+                       "contracts hold (DESIGN.md §15)");
+            }
+        }
+    }
+
     // -------- seed-flow --------
 
     void
@@ -2210,6 +2324,8 @@ const char *kRuleHelp =
     "boundary\n"
     "  seed-flow        stateful Rng reachable from traffic entry "
     "points (call-graph tenant-rng)\n"
+    "  counter-mutation direct writes to stats::Counter/Gauge "
+    "fields outside sim/stats.* (use add/inc/set)\n"
     "markers: // simlint:observer, // simlint:traffic-entry, "
     "// simlint:domain-accessor\n"
     "suppress with: // simlint:allow(rule[,rule...])\n";
@@ -2219,7 +2335,7 @@ const char *kAllRuleIds[] = {
     "raw-alloc",       "cross-domain",  "tenant-rng",
     "banned-fn",       "volatile-sync", "acct-loop",
     "include-hygiene", "layer-hygiene", "observer-purity",
-    "domain-escape",   "seed-flow"};
+    "domain-escape",   "seed-flow",     "counter-mutation"};
 
 bool
 lintableExtension(const fs::path &p)
